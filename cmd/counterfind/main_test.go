@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), err
+}
+
+func TestFindsSufferageDeterministic(t *testing.T) {
+	out, err := runCLI(t, "-heuristic", "sufferage", "-deterministic", "-attempts", "300000", "-seed", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "counterexample for sufferage with deterministic ties") {
+		t.Fatalf("no counterexample reported:\n%s", out)
+	}
+	if !strings.Contains(out, "INCREASED") {
+		t.Fatalf("makespan increase not reported:\n%s", out)
+	}
+}
+
+func TestImpossibleSearchReportsTheorem(t *testing.T) {
+	out, err := runCLI(t, "-heuristic", "mct", "-deterministic", "-attempts", "500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no counterexample") {
+		t.Fatalf("should exhaust budget:\n%s", out)
+	}
+	if !strings.Contains(out, "paper proves") {
+		t.Fatalf("theorem note missing:\n%s", out)
+	}
+}
+
+func TestRandomTieSearchReportsTiePath(t *testing.T) {
+	out, err := runCLI(t, "-heuristic", "met", "-attempts", "100000", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tie path (iterative phase)") {
+		t.Fatalf("tie path missing for a random-tie counterexample:\n%s", out)
+	}
+}
+
+func TestHalfGridFlag(t *testing.T) {
+	// Just exercise the half-integer generator path with a small budget.
+	if _, err := runCLI(t, "-heuristic", "sufferage", "-deterministic", "-half", "-maxvalue", "12", "-attempts", "20000"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := runCLI(t, "-heuristic", "bogus"); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+	if _, err := runCLI(t, "-notaflag"); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestShrinkFlag(t *testing.T) {
+	out, err := runCLI(t, "-heuristic", "sufferage", "-deterministic", "-attempts", "300000", "-seed", "7", "-shrink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "INCREASED") {
+		t.Fatalf("shrunken counterexample lost the increase:\n%s", out)
+	}
+}

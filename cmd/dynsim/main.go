@@ -1,0 +1,131 @@
+// Command dynsim runs the dynamic-arrival simulator (the environment the
+// paper's SWA, K-Percent Best and Sufferage heuristics were designed for):
+// tasks arrive as a Poisson process and are mapped online, either one-by-one
+// on arrival (immediate mode) or in batches at mapping events (batch mode).
+//
+// Usage:
+//
+//	dynsim -mode immediate -rule swa -tasks 200 -machines 8
+//	dynsim -mode batch -heuristic min-min -interval 100
+//	dynsim -compare          # all rules/heuristics side by side
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dynamic"
+	"repro/internal/etc"
+	"repro/internal/heuristics"
+	"repro/internal/rng"
+	"repro/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "dynsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("dynsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		mode      = fs.String("mode", "immediate", "immediate or batch")
+		rule      = fs.String("rule", "mct", "immediate rule: mct, met, olb, kpb, swa")
+		heuristic = fs.String("heuristic", "min-min", "batch heuristic (registry name)")
+		interval  = fs.Float64("interval", 100, "batch mapping interval")
+		tasks     = fs.Int("tasks", 200, "number of tasks")
+		machines  = fs.Int("machines", 8, "number of machines")
+		inter     = fs.Float64("interarrival", 100, "mean inter-arrival time (Poisson)")
+		class     = fs.String("class", "hihi-i", "workload class label")
+		seed      = fs.Uint64("seed", 1, "workload seed")
+		compare   = fs.Bool("compare", false, "run every mode/rule on the same workload")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c, err := classByLabel(*class)
+	if err != nil {
+		return err
+	}
+	w, err := dynamic.GeneratePoissonWorkload(c, *tasks, *machines, *inter, rng.New(*seed))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "workload: %d tasks, %d machines, class %s, mean inter-arrival %g, seed %d\n\n",
+		*tasks, *machines, *class, *inter, *seed)
+
+	if *compare {
+		return runComparison(w, *interval, stdout)
+	}
+
+	var res *dynamic.Result
+	switch *mode {
+	case "immediate":
+		res, err = dynamic.SimulateImmediate(w, dynamic.ImmediateConfig{Rule: dynamic.ImmediateRule(*rule)})
+	case "batch":
+		h, herr := heuristics.ByName(*heuristic, *seed)
+		if herr != nil {
+			return herr
+		}
+		res, err = dynamic.SimulateBatch(w, dynamic.BatchConfig{Heuristic: h, Interval: *interval})
+	default:
+		return fmt.Errorf("unknown -mode %q (want immediate or batch)", *mode)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "makespan:        %.6g\n", res.Makespan)
+	fmt.Fprintf(stdout, "mean response:   %.6g\n", res.MeanResponse)
+	fmt.Fprintf(stdout, "mapping events:  %d\n", res.MappingEvents)
+	fmt.Fprintln(stdout, "machine finish times:")
+	for m, f := range res.MachineFinish {
+		fmt.Fprintf(stdout, "  m%-3d %.6g\n", m, f)
+	}
+	return nil
+}
+
+func runComparison(w dynamic.Workload, interval float64, stdout io.Writer) error {
+	tb := table.New("mode comparison", "mode", "makespan", "mean response", "events")
+	for _, rule := range []dynamic.ImmediateRule{
+		dynamic.ImmediateMCT, dynamic.ImmediateMET, dynamic.ImmediateOLB,
+		dynamic.ImmediateKPB, dynamic.ImmediateSWA,
+	} {
+		res, err := dynamic.SimulateImmediate(w, dynamic.ImmediateConfig{Rule: rule})
+		if err != nil {
+			return err
+		}
+		tb.AddRow("immediate/"+string(rule), res.Makespan, res.MeanResponse, res.MappingEvents)
+	}
+	for _, name := range []string{"min-min", "max-min", "sufferage"} {
+		h, err := heuristics.ByName(name, 1)
+		if err != nil {
+			return err
+		}
+		res, err := dynamic.SimulateBatch(w, dynamic.BatchConfig{Heuristic: h, Interval: interval})
+		if err != nil {
+			return err
+		}
+		tb.AddRow(fmt.Sprintf("batch/%s@%g", name, interval), res.Makespan, res.MeanResponse, res.MappingEvents)
+	}
+	fmt.Fprint(stdout, tb.String())
+	return nil
+}
+
+func classByLabel(label string) (etc.Class, error) {
+	for _, c := range etc.AllClasses() {
+		if c.Label() == label {
+			return c, nil
+		}
+	}
+	var labels []string
+	for _, c := range etc.AllClasses() {
+		labels = append(labels, c.Label())
+	}
+	return etc.Class{}, fmt.Errorf("unknown class %q (available: %v)", label, labels)
+}

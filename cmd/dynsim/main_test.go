@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), err
+}
+
+func TestImmediateMode(t *testing.T) {
+	out, err := runCLI(t, "-mode", "immediate", "-rule", "swa", "-tasks", "40", "-machines", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"makespan:", "mean response:", "mapping events:  40", "machine finish times:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBatchMode(t *testing.T) {
+	out, err := runCLI(t, "-mode", "batch", "-heuristic", "sufferage", "-tasks", "30", "-machines", "3", "-interval", "200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "makespan:") {
+		t.Fatalf("no result:\n%s", out)
+	}
+}
+
+func TestCompareMode(t *testing.T) {
+	out, err := runCLI(t, "-compare", "-tasks", "30", "-machines", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"immediate/mct", "immediate/swa", "batch/min-min", "batch/sufferage"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, err := runCLI(t, "-tasks", "20", "-machines", "3", "-seed", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runCLI(t, "-tasks", "20", "-machines", "3", "-seed", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same seed produced different simulations")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "sideways"},
+		{"-mode", "immediate", "-rule", "bogus"},
+		{"-mode", "batch", "-heuristic", "bogus"},
+		{"-class", "nope"},
+		{"-interarrival", "0"},
+		{"-notaflag"},
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

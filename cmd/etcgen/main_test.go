@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/etc"
+)
+
+func runCLI(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func TestGenerateToStdout(t *testing.T) {
+	out, errb, err := runCLI(t, "-tasks", "4", "-machines", "3", "-seed", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := etc.ReadCSV(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("output is not a valid ETC CSV: %v", err)
+	}
+	if m.Tasks() != 4 || m.Machines() != 3 {
+		t.Fatalf("shape %dx%d", m.Tasks(), m.Machines())
+	}
+	if !strings.Contains(errb, "4x3 matrix") {
+		t.Fatalf("stderr summary missing: %q", errb)
+	}
+}
+
+func TestGenerateToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "w.csv")
+	if _, _, err := runCLI(t, "-tasks", "2", "-machines", "2", "-out", path); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCLI(t, "-tasks", "2", "-machines", "2") // same seed default
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = out
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := etc.ReadCSV(strings.NewReader(data)); err != nil {
+		t.Fatalf("file output invalid: %v", err)
+	}
+}
+
+func TestCVBMethod(t *testing.T) {
+	out, _, err := runCLI(t, "-method", "cvb", "-tasks", "10", "-machines", "4", "-taskcv", "0.3", "-machinecv", "0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := etc.ReadCSV(strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassLabel(t *testing.T) {
+	out, _, err := runCLI(t, "-class", "lolo-c", "-tasks", "8", "-machines", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := etc.ReadCSV(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsConsistent() {
+		t.Fatal("lolo-c output is not consistent")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, _, err := runCLI(t, "-seed", "5", "-tasks", "6", "-machines", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := runCLI(t, "-seed", "5", "-tasks", "6", "-machines", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same seed produced different matrices")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-method", "bogus"},
+		{"-class", "nope"},
+		{"-consistency", "weird"},
+		{"-tasks", "0"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if _, _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func readFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	return string(data), err
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCSV writes a small ETC matrix to a temp file and returns its path.
+func writeCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "etc.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), err
+}
+
+const smallETC = "4,9,9\n9,2,2\n9,9,3\n"
+
+func TestRunsDeterministic(t *testing.T) {
+	path := writeCSV(t, smallETC)
+	out, err := runCLI(t, "-etc", path, "-heuristic", "mct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"heuristic mct, 3 tasks, 3 machines",
+		"--- iteration 0 (original mapping)",
+		"--- iteration 1",
+		"final machine completion times",
+		"overall makespan",
+		"(unchanged)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRandomTies(t *testing.T) {
+	path := writeCSV(t, smallETC)
+	out, err := runCLI(t, "-etc", path, "-heuristic", "met", "-ties", "random", "-seed", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "random ties") {
+		t.Fatalf("ties mode not reported:\n%s", out)
+	}
+}
+
+func TestSeededFlag(t *testing.T) {
+	path := writeCSV(t, smallETC)
+	out, err := runCLI(t, "-etc", path, "-heuristic", "sufferage", "-seeded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "seeded(sufferage)") {
+		t.Fatalf("seeded wrapper not applied:\n%s", out)
+	}
+}
+
+func TestReadyTimes(t *testing.T) {
+	path := writeCSV(t, "5,5\n")
+	out, err := runCLI(t, "-etc", path, "-heuristic", "mct", "-ready", "4,0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With machine 0 busy until 4, the task must land on machine 1 (CT 5).
+	if !strings.Contains(out, "CT=5") {
+		t.Fatalf("ready times ignored:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	path := writeCSV(t, smallETC)
+	cases := [][]string{
+		{},                                    // missing -etc
+		{"-etc", "/nonexistent/file.csv"},     // unreadable
+		{"-etc", path, "-heuristic", "bogus"}, // unknown heuristic
+		{"-etc", path, "-ties", "sometimes"},  // unknown tie mode
+		{"-etc", path, "-ready", "1,notanum"}, // bad ready list
+		{"-etc", path, "-ready", "1"},         // wrong ready count
+		{"-etc", writeCSV(t, "1,x\n")},        // invalid CSV
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// The golden test pins the full CLI output on the paper's reconstructed
+// Sufferage example (Table 15): the deterministic-tie makespan increase must
+// render byte-identically across versions.
+func TestGoldenPaperSufferage(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "paper_sufferage.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-etc", filepath.Join("testdata", "paper_sufferage.csv"), "-heuristic", "sufferage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(golden) {
+		t.Fatalf("output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", out, golden)
+	}
+	// The paper's headline facts must be visible in the rendering.
+	for _, want := range []string{"CT=9.5", "CT=10.5", "(INCREASED)", "improved", "worsened"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("golden output missing %q", want)
+		}
+	}
+}

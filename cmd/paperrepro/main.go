@@ -1,0 +1,82 @@
+// Command paperrepro regenerates every table and figure of the paper and
+// verifies the reproduced quantities against the paper's reported values.
+//
+// Usage:
+//
+//	paperrepro            # run all experiments, print summaries and checks
+//	paperrepro -exp E4    # run one experiment with its full rendered output
+//	paperrepro -v         # run all experiments with full output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "paperrepro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("paperrepro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "", "run a single experiment by ID (E1..E12)")
+	verbose := fs.Bool("v", false, "print full rendered tables and figures")
+	jsonPath := fs.String("json", "", "also archive results as JSON records at this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var list []experiments.Experiment
+	if *exp != "" {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
+		list = []experiments.Experiment{e}
+		*verbose = true
+	} else {
+		list = experiments.All()
+	}
+
+	failed := 0
+	var records []report.ExperimentRecord
+	for _, e := range list {
+		rep, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		records = append(records, report.FromExperiment(rep, e.Artifacts, *verbose))
+		fmt.Fprintln(stdout, rep.Summary())
+		fmt.Fprintf(stdout, "     reproduces: %s\n", e.Artifacts)
+		if *verbose {
+			fmt.Fprintln(stdout)
+			fmt.Fprintln(stdout, rep.Body)
+		}
+		fmt.Fprint(stdout, rep.ChecksString())
+		fmt.Fprintln(stdout)
+		failed += len(rep.Failed())
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f, records); err != nil {
+			return err
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d checks failed", failed)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), err
+}
+
+func TestSingleExperiment(t *testing.T) {
+	out, err := runCLI(t, "-exp", "E5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E5", "PASS", "Table 12", "[ok  ]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "[FAIL]") {
+		t.Fatalf("E5 has failing checks:\n%s", out)
+	}
+}
+
+func TestSingleExperimentIsVerbose(t *testing.T) {
+	out, err := runCLI(t, "-exp", "E4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Reconstructed ETC matrix") {
+		t.Fatal("-exp should imply verbose body output")
+	}
+}
+
+func TestAllExampleExperimentsPass(t *testing.T) {
+	// E1-E6 are fast; run each through the CLI.
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6"} {
+		out, err := runCLI(t, "-exp", id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(out, "PASS") {
+			t.Errorf("%s did not pass:\n%s", id, out)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := runCLI(t, "-exp", "E99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if _, err := runCLI(t, "-nope"); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestJSONArchive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if _, err := runCLI(t, "-exp", "E5", "-json", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []map[string]interface{}
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("archive is not valid JSON: %v", err)
+	}
+	if len(records) != 1 || records[0]["id"] != "E5" || records[0]["passed"] != true {
+		t.Fatalf("records = %+v", records)
+	}
+}

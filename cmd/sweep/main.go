@@ -1,0 +1,126 @@
+// Command sweep runs the Monte Carlo study: for every selected heuristic ×
+// workload class × tie policy it measures how often the iterative technique
+// changes the mapping, how often it worsens the makespan, and what it does
+// to machine completion times.
+//
+// Usage:
+//
+//	sweep                                  # default grid, 200 trials per cell
+//	sweep -heuristics mct,sufferage -trials 1000 -tasks 64 -machines 8
+//	sweep -classes hihi-i,lolo-c -seeded
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/etc"
+	"repro/internal/heuristics"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		names    = fs.String("heuristics", strings.Join(heuristics.Names(), ","), "comma-separated heuristic names")
+		classes  = fs.String("classes", "hihi-i,lolo-c", "comma-separated class labels, or 'all'")
+		tasks    = fs.Int("tasks", 32, "tasks per workload")
+		machines = fs.Int("machines", 8, "machines per workload")
+		trials   = fs.Int("trials", 200, "trials per cell")
+		seed     = fs.Uint64("seed", 20070326, "experiment seed")
+		seeded   = fs.Bool("seeded", false, "also run seeded variants")
+		grid     = fs.Int("grid", 0, "draw ETC entries from integers 1..grid (tie-dense) instead of the class generator")
+		jsonPath = fs.String("json", "", "also archive results as JSON records at this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var classList []etc.Class
+	if *classes == "all" {
+		classList = etc.AllClasses()
+	} else {
+		byLabel := map[string]etc.Class{}
+		for _, c := range etc.AllClasses() {
+			byLabel[c.Label()] = c
+		}
+		for _, l := range strings.Split(*classes, ",") {
+			c, ok := byLabel[strings.TrimSpace(l)]
+			if !ok {
+				return fmt.Errorf("unknown class %q", l)
+			}
+			classList = append(classList, c)
+		}
+	}
+	nameList := strings.Split(*names, ",")
+
+	tb := table.New(
+		fmt.Sprintf("iterative-technique outcomes: %d trials/cell, %dx%d workloads, seed %d",
+			*trials, *tasks, *machines, *seed),
+		"cell", "changed", "makespan worse", "machines improved", "machines worsened",
+		"mean CT delta", "makespan delta")
+
+	var records []report.StudyRecord
+	addCell := func(cfg sim.Config) error {
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return err
+		}
+		records = append(records, report.FromStudy(r))
+		tb.AddRow(r.Config.Label(),
+			r.Changed.String(),
+			r.MakespanIncreased.String(),
+			fmt.Sprintf("%.3f", r.ImprovedMachines.Value()),
+			fmt.Sprintf("%.3f", r.WorsenedMachines.Value()),
+			fmt.Sprintf("%+.4f ± %.4f", r.RelMeanDelta.Mean, r.RelMeanDelta.ConfidenceInterval95()),
+			fmt.Sprintf("%+.4f", r.RelMakespanDelta.Mean))
+		return nil
+	}
+
+	for _, name := range nameList {
+		name = strings.TrimSpace(name)
+		for _, class := range classList {
+			for _, random := range []bool{false, true} {
+				cfg := sim.Config{
+					HeuristicName: name, RandomTies: random, Class: class,
+					IntegerGrid: *grid,
+					Tasks:       *tasks, Machines: *machines, Trials: *trials, Seed: *seed,
+				}
+				if err := addCell(cfg); err != nil {
+					return err
+				}
+				if *seeded {
+					cfg.Seeded = true
+					if err := addCell(cfg); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	fmt.Fprint(stdout, tb.String())
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteJSON(f, records); err != nil {
+			return err
+		}
+	}
+	return nil
+}

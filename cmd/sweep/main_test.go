@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), err
+}
+
+func TestSmallSweep(t *testing.T) {
+	out, err := runCLI(t,
+		"-heuristics", "mct,sufferage",
+		"-classes", "hihi-i",
+		"-tasks", "8", "-machines", "3", "-trials", "10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mct/det/hihi-i/8x3", "mct/rnd/hihi-i/8x3", "sufferage/det"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Theorem: deterministic mct row must report p=0.0000 changed.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "mct/det") && !strings.Contains(line, "p=0.0000") {
+			t.Errorf("deterministic mct changed: %s", line)
+		}
+	}
+}
+
+func TestSweepAllClasses(t *testing.T) {
+	out, err := runCLI(t,
+		"-heuristics", "met",
+		"-classes", "all",
+		"-tasks", "6", "-machines", "3", "-trials", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out, "met/det"); got != 12 {
+		t.Fatalf("expected 12 deterministic cells (one per class), got %d", got)
+	}
+}
+
+func TestSweepSeededVariant(t *testing.T) {
+	out, err := runCLI(t,
+		"-heuristics", "kpb",
+		"-classes", "hihi-i",
+		"-tasks", "6", "-machines", "3", "-trials", "5",
+		"-seeded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "seeded-kpb") {
+		t.Fatalf("seeded cells missing:\n%s", out)
+	}
+}
+
+func TestSweepGridWorkloads(t *testing.T) {
+	out, err := runCLI(t,
+		"-heuristics", "mct",
+		"-classes", "hihi-i",
+		"-tasks", "8", "-machines", "3", "-trials", "20",
+		"-grid", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "grid3") {
+		t.Fatalf("grid label missing:\n%s", out)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := runCLI(t, "-classes", "nope"); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := runCLI(t, "-heuristics", "bogus", "-classes", "hihi-i", "-trials", "1"); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+	if _, err := runCLI(t, "-notaflag"); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestSweepJSONArchive(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if _, err := runCLI(t,
+		"-heuristics", "mct", "-classes", "hihi-i",
+		"-tasks", "6", "-machines", "3", "-trials", "4",
+		"-json", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []map[string]interface{}
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("archive invalid: %v", err)
+	}
+	if len(records) != 2 { // det + rnd
+		t.Fatalf("got %d records, want 2", len(records))
+	}
+}

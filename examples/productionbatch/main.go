@@ -1,0 +1,100 @@
+// Productionbatch reproduces the scenario that motivates the paper's
+// introduction: a production environment maps a known batch of tasks
+// offline, and tasks that arrive *after* the mapping benefit from machines
+// that finish their batch work early. Minimizing non-makespan machines'
+// completion times therefore matters even though it cannot reduce the
+// batch's makespan.
+//
+// The example runs two overnight batches through Sufferage plus the
+// iterative technique:
+//
+//   - batch A, where the technique frees two machines earlier at no cost —
+//     the payoff the paper is after; and
+//
+//   - batch B, where the technique *backfires* (Sufferage can worsen even
+//     with deterministic ties) — and where the paper's concluding fix,
+//     seeding, removes the regression.
+//
+//     go run ./examples/productionbatch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hcsched "repro"
+)
+
+// The two batches are fixed draws from the canonical high-heterogeneity
+// inconsistent workload class: 14 profiled jobs on a 4-machine pool.
+const (
+	batchASeed = 4  // the technique frees machines early
+	batchBSeed = 84 // the technique backfires for bare Sufferage
+)
+
+func main() {
+	h, err := hcsched.NewHeuristic("sufferage", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== batch A: the payoff ===")
+	report(batch(batchASeed), h)
+
+	fmt.Println("\n=== batch B: the hazard (bare sufferage) ===")
+	report(batch(batchBSeed), h)
+
+	fmt.Println("\n=== batch B with seeding (the paper's concluding fix) ===")
+	report(batch(batchBSeed), hcsched.Seeded(h))
+}
+
+func batch(seed uint64) *hcsched.Instance {
+	class := hcsched.WorkloadClass{HighTaskHet: true, HighMachineHet: true}
+	m, err := hcsched.GenerateETC(class, 14, 4, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := hcsched.NewInstance(m, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return in
+}
+
+func report(in *hcsched.Instance, h hcsched.Heuristic) {
+	trace, err := hcsched.Iterate(in, h, hcsched.DeterministicTies())
+	if err != nil {
+		log.Fatal(err)
+	}
+	orig, err := trace.Original()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("batch makespan: %.5g -> %.5g", trace.OriginalMakespan(), trace.FinalMakespan())
+	if trace.MakespanIncreased() {
+		fmt.Print("  (WORSE: the technique backfired for this heuristic)")
+	}
+	fmt.Println()
+
+	// A late-arriving task can start on machine m as soon as m finishes its
+	// batch work. Compare availability before and after the technique.
+	fmt.Println("machine availability for late-arriving work:")
+	totalGain := 0.0
+	for m, after := range trace.FinalCompletion {
+		before := orig.Completion[m]
+		gain := before - after
+		totalGain += gain
+		var marker string
+		switch {
+		case gain > 0:
+			marker = fmt.Sprintf("available %.4g earlier", gain)
+		case gain < 0:
+			marker = fmt.Sprintf("available %.4g LATER", -gain)
+		default:
+			marker = "unchanged"
+		}
+		fmt.Printf("  machine %d: %8.5g -> %8.5g  (%s)\n", m, before, after, marker)
+	}
+	fmt.Printf("net availability gain across machines: %.5g\n", totalGain)
+}

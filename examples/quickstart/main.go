@@ -1,0 +1,59 @@
+// Quickstart: map a small workload with Min-Min, run the paper's iterative
+// technique, and inspect what happened to each machine.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hcsched "repro"
+)
+
+func main() {
+	// An ETC matrix: rows are tasks, columns are machines. Entry [t][m] is
+	// the time task t takes on machine m.
+	m := hcsched.MustETC([][]float64{
+		{4, 9, 7},
+		{9, 2, 3},
+		{5, 8, 6},
+		{9, 3, 2},
+		{6, 7, 9},
+	})
+
+	// An instance pairs the matrix with initial machine ready times
+	// (nil = every machine free at time 0).
+	in, err := hcsched.NewInstance(m, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pick a heuristic from the registry and run the iterative technique:
+	// map everything, freeze the makespan machine with its tasks, reset the
+	// rest, re-map, repeat.
+	h, err := hcsched.NewHeuristic("min-min", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := hcsched.Iterate(in, h, hcsched.DeterministicTies())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("heuristic: %s\n", trace.Heuristic)
+	fmt.Printf("iterations: %d\n", len(trace.Iterations))
+	fmt.Printf("makespan: %.4g (original) -> %.4g (after iteration)\n\n",
+		trace.OriginalMakespan(), trace.FinalMakespan())
+
+	final, err := trace.FinalSchedule()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(hcsched.RenderGantt(final, hcsched.GanttOptions{Width: 50}))
+
+	for machine, outcome := range trace.MachineOutcomes() {
+		fmt.Printf("machine %d finishes at %.4g (%s)\n",
+			machine, trace.FinalCompletion[machine], outcome)
+	}
+}

@@ -1,0 +1,173 @@
+// Package hcsched is the public API of this repository: a library for
+// heterogeneous-computing resource allocation implementing the iterative
+// technique of Briceño, Oltikar, Siegel and Maciejewski, "Study of an
+// Iterative Technique to Minimize Completion Times of Non-Makespan
+// Machines" (IPPS/HCW 2007), together with the mapping heuristics it
+// studies (MET, MCT, Min-Min, Max-Min, Duplex, OLB, Sufferage, K-Percent
+// Best, the Switching Algorithm, and Genitor) and the synthetic ETC
+// workload generators of the surrounding literature.
+//
+// A minimal session:
+//
+//	m := hcsched.MustETC([][]float64{
+//		{4, 9, 9},
+//		{9, 2, 2},
+//		{9, 9, 3},
+//	})
+//	in, _ := hcsched.NewInstance(m, nil)
+//	h, _ := hcsched.NewHeuristic("min-min", 0)
+//	trace, _ := hcsched.Iterate(in, h, hcsched.DeterministicTies())
+//	fmt.Println(trace.FinalMakespan())
+//
+// The package is a thin facade over the internal packages; every type it
+// exposes is an alias, so values flow freely between the facade and the
+// richer internal APIs used by the examples and experiments.
+package hcsched
+
+import (
+	"repro/internal/core"
+	"repro/internal/counterexample"
+	"repro/internal/etc"
+	"repro/internal/experiments"
+	"repro/internal/gantt"
+	"repro/internal/heuristics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/tiebreak"
+)
+
+// Core model types.
+type (
+	// ETCMatrix is the estimated-time-to-compute matrix: one row per task,
+	// one column per machine.
+	ETCMatrix = etc.Matrix
+	// Instance is an immutable scheduling problem: an ETC matrix plus
+	// initial machine ready times.
+	Instance = sched.Instance
+	// Mapping assigns every task to a machine.
+	Mapping = sched.Mapping
+	// Schedule is a mapping evaluated against an instance.
+	Schedule = sched.Schedule
+	// Heuristic maps all tasks of an instance onto its machines.
+	Heuristic = heuristics.Heuristic
+	// TieBreaker resolves choices among equally good candidates.
+	TieBreaker = tiebreak.Policy
+	// PolicyFunc supplies the tie-breaking policy per iteration.
+	PolicyFunc = core.PolicyFunc
+	// Trace records a full run of the iterative technique.
+	Trace = core.Trace
+	// Iteration is one heuristic run within the technique.
+	Iteration = core.Iteration
+	// MachineOutcome classifies a machine's final completion time against
+	// the original mapping.
+	MachineOutcome = core.MachineOutcome
+	// WorkloadClass selects one of the canonical ETC heterogeneity classes.
+	WorkloadClass = etc.Class
+	// StudyConfig configures one Monte Carlo cell.
+	StudyConfig = sim.Config
+	// StudyResult aggregates one Monte Carlo cell.
+	StudyResult = sim.Result
+	// Experiment is one paper artifact reproduction.
+	Experiment = experiments.Experiment
+	// GanttOptions controls chart rendering.
+	GanttOptions = gantt.Options
+)
+
+// Machine outcome values.
+const (
+	Unchanged = core.Unchanged
+	Improved  = core.Improved
+	Worsened  = core.Worsened
+)
+
+// NewETC validates and builds an ETC matrix (values[task][machine]).
+func NewETC(values [][]float64) (*ETCMatrix, error) { return etc.New(values) }
+
+// MustETC is NewETC but panics on error; for literals and tests.
+func MustETC(values [][]float64) *ETCMatrix { return etc.MustNew(values) }
+
+// NewInstance pairs a matrix with initial ready times (nil means all zero).
+func NewInstance(m *ETCMatrix, ready []float64) (*Instance, error) {
+	return sched.NewInstance(m, ready)
+}
+
+// Evaluate computes the schedule of a mapping on an instance.
+func Evaluate(in *Instance, mp Mapping) (*Schedule, error) { return sched.Evaluate(in, mp) }
+
+// Heuristics returns the available heuristic names.
+func Heuristics() []string { return heuristics.Names() }
+
+// NewHeuristic builds a heuristic by registry name ("met", "mct", "min-min",
+// "max-min", "duplex", "olb", "sufferage", "kpb", "swa", "genitor"). The
+// seed drives stochastic heuristics (Genitor).
+func NewHeuristic(name string, seed uint64) (Heuristic, error) {
+	return heuristics.ByName(name, seed)
+}
+
+// Seeded wraps a heuristic with the paper's concluding proposal: keep the
+// previous iteration's mapping whenever the heuristic fails to beat it, so
+// the iterative technique can never increase makespan.
+func Seeded(h Heuristic) Heuristic { return heuristics.Seeded{Inner: h} }
+
+// DeterministicTies breaks every tie toward the lowest index — the
+// convention under which the paper proves Min-Min, MCT and MET invariant.
+func DeterministicTies() PolicyFunc { return core.Deterministic() }
+
+// RandomTies breaks ties uniformly at random from a deterministic seeded
+// stream.
+func RandomTies(seed uint64) PolicyFunc {
+	return core.FixedPolicy(tiebreak.NewRandom(rng.New(seed)))
+}
+
+// Iterate runs the paper's iterative technique: repeatedly map, freeze the
+// makespan machine with its tasks, reset ready times, and re-map, until one
+// machine remains.
+func Iterate(in *Instance, h Heuristic, policy PolicyFunc) (*Trace, error) {
+	return core.Iterate(in, h, policy)
+}
+
+// GenerateETC builds a random workload in the given class (the canonical
+// range-based method) with the given shape, deterministically from seed.
+func GenerateETC(class WorkloadClass, tasks, machines int, seed uint64) (*ETCMatrix, error) {
+	return etc.GenerateClass(class, tasks, machines, rng.New(seed))
+}
+
+// WorkloadClasses returns the twelve canonical heterogeneity classes.
+func WorkloadClasses() []WorkloadClass { return etc.AllClasses() }
+
+// RenderGantt draws an ASCII Gantt chart of a schedule.
+func RenderGantt(s *Schedule, opts GanttOptions) string { return gantt.Render(s, opts) }
+
+// RunStudy executes one Monte Carlo cell measuring how the iterative
+// technique behaves for a heuristic on random workloads.
+func RunStudy(cfg StudyConfig) (StudyResult, error) { return sim.Run(cfg) }
+
+// Experiments returns the registry reproducing every table and figure of
+// the paper.
+func Experiments() []Experiment { return experiments.All() }
+
+// FindCounterexample searches random small-integer workloads for an
+// instance on which the iterative technique makes the named heuristic's
+// makespan worse. deterministicOnly restricts the search to deterministic
+// tie-breaking (possible for SWA, KPB and Sufferage; provably impossible
+// for Min-Min, MCT and MET). It returns the matrix, the number of
+// candidates examined, and whether the search succeeded within attempts.
+func FindCounterexample(name string, deterministicOnly bool, tasks, machines int, attempts int64, seed uint64) (*ETCMatrix, int64, bool) {
+	target := counterexample.Target{
+		Heuristic: func() heuristics.Heuristic {
+			h, err := heuristics.ByName(name, seed)
+			if err != nil {
+				panic(err) // name validated by callers; see NewHeuristic
+			}
+			return h
+		},
+		DeterministicOnly: deterministicOnly,
+	}
+	gen := counterexample.GridGenerator(tasks, machines, counterexample.IntGrid(6))
+	res, ok := counterexample.Search(target, gen, attempts, seed)
+	if !ok {
+		return nil, attempts, false
+	}
+	return res.Matrix, res.Attempts, true
+}

@@ -1,0 +1,190 @@
+// Package bounds computes makespan lower bounds for unrelated-machine
+// scheduling (R||Cmax), the problem underlying every mapping in this
+// repository. The bounds serve three purposes: quality yardsticks for the
+// heuristics (optimality gaps, as in the Braun et al. comparison study the
+// paper builds on), pruning for the exact solver in internal/opt, and
+// sanity assertions in tests (no valid schedule may beat a lower bound).
+package bounds
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sched"
+)
+
+// TaskMinimum is the per-task bound: every task must complete somewhere, and
+// on machine m it cannot complete before ready(m) + ETC(t, m); the makespan
+// is therefore at least the largest over tasks of the smallest such
+// completion time.
+func TaskMinimum(in *sched.Instance) float64 {
+	lb := 0.0
+	for t := 0; t < in.Tasks(); t++ {
+		best := math.Inf(1)
+		for m := 0; m < in.Machines(); m++ {
+			best = math.Min(best, in.Ready(m)+in.ETC().At(t, m))
+		}
+		lb = math.Max(lb, best)
+	}
+	return lb
+}
+
+// LoadBalance is the averaging bound: even if work splits perfectly, total
+// minimal work (everyone on their fastest machine) plus total initial ready
+// time cannot be spread below the average per machine.
+func LoadBalance(in *sched.Instance) float64 {
+	total := 0.0
+	for t := 0; t < in.Tasks(); t++ {
+		_, v := in.ETC().MinMachine(t)
+		total += v
+	}
+	for m := 0; m < in.Machines(); m++ {
+		total += in.Ready(m)
+	}
+	return total / float64(in.Machines())
+}
+
+// MaxReady is the trivial ready-time bound: in this repository's model the
+// makespan is the maximum completion over *all* machines, and an idle
+// machine completes at its initial ready time, so no schedule finishes
+// before the largest initial ready time.
+func MaxReady(in *sched.Instance) float64 {
+	lb := 0.0
+	for m := 0; m < in.Machines(); m++ {
+		lb = math.Max(lb, in.Ready(m))
+	}
+	return lb
+}
+
+// Feasible greedily tries to place every task so that no machine exceeds
+// deadline tau: tasks are processed in order of scarcity (fewest fitting
+// machines first), each going to the fitting machine with the most remaining
+// capacity. A "true" answer is a constructive proof that a schedule with
+// makespan <= tau exists (useful as an incumbent for the exact solver); a
+// "false" answer is inconclusive — the greedy order may simply have failed —
+// so Feasible must never be used to derive lower bounds.
+func Feasible(in *sched.Instance, tau float64) bool {
+	nT, nM := in.Tasks(), in.Machines()
+	capacity := make([]float64, nM)
+	for m := range capacity {
+		capacity[m] = tau - in.Ready(m)
+		if capacity[m] < 0 {
+			capacity[m] = 0
+		}
+	}
+	type taskInfo struct {
+		t       int
+		options int
+	}
+	infos := make([]taskInfo, nT)
+	for t := 0; t < nT; t++ {
+		n := 0
+		for m := 0; m < nM; m++ {
+			if in.ETC().At(t, m) <= capacity[m] {
+				n++
+			}
+		}
+		if n == 0 {
+			return false
+		}
+		infos[t] = taskInfo{t, n}
+	}
+	sort.SliceStable(infos, func(a, b int) bool { return infos[a].options < infos[b].options })
+	for _, info := range infos {
+		best := -1
+		for m := 0; m < nM; m++ {
+			if in.ETC().At(info.t, m) <= capacity[m] &&
+				(best < 0 || capacity[m]-in.ETC().At(info.t, m) > capacity[best]-in.ETC().At(info.t, best)) {
+				best = m
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		capacity[best] -= in.ETC().At(info.t, best)
+	}
+	return true
+}
+
+// LPRelaxation strengthens the averaging bound with the classic R||Cmax
+// deadline argument: a deadline tau is only achievable if, restricting each
+// task to machines where it fits within tau (ETC <= tau - ready), the total
+// of per-task minimum *feasible* ETCs fits into the machines' total capacity
+// at tau. The condition is monotone in tau, so a binary search finds the
+// smallest tau passing it; that value is a valid lower bound (any real
+// schedule satisfies the condition) and dominates both TaskMinimum and
+// LoadBalance.
+func LPRelaxation(in *sched.Instance) float64 {
+	lo := math.Max(TaskMinimum(in), LoadBalance(in))
+	// Upper start: everything on the machine with min ready (valid makespan).
+	hi := upperBound(in)
+	if necessaryCondition(in, lo) {
+		return lo
+	}
+	// Binary search on the smallest tau satisfying the necessary condition.
+	for i := 0; i < 60 && hi-lo > 1e-9*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if necessaryCondition(in, mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// necessaryCondition checks the capacity relaxation at deadline tau.
+func necessaryCondition(in *sched.Instance, tau float64) bool {
+	nT, nM := in.Tasks(), in.Machines()
+	totalCapacity := 0.0
+	for m := 0; m < nM; m++ {
+		c := tau - in.Ready(m)
+		if c > 0 {
+			totalCapacity += c
+		}
+	}
+	need := 0.0
+	for t := 0; t < nT; t++ {
+		minFeasible := math.Inf(1)
+		for m := 0; m < nM; m++ {
+			e := in.ETC().At(t, m)
+			if e <= tau-in.Ready(m) {
+				minFeasible = math.Min(minFeasible, e)
+			}
+		}
+		if math.IsInf(minFeasible, 1) {
+			return false // the task fits nowhere at this deadline
+		}
+		need += minFeasible
+		if need > totalCapacity {
+			return false
+		}
+	}
+	return need <= totalCapacity
+}
+
+// upperBound returns a quick valid makespan (greedy MCT-like), used to
+// initialise searches.
+func upperBound(in *sched.Instance) float64 {
+	ready := in.ReadyTimes()
+	for t := 0; t < in.Tasks(); t++ {
+		best, bestCT := 0, math.Inf(1)
+		for m := 0; m < in.Machines(); m++ {
+			ct := ready[m] + in.ETC().At(t, m)
+			if ct < bestCT {
+				best, bestCT = m, ct
+			}
+		}
+		ready[best] = bestCT
+	}
+	mx := 0.0
+	for _, r := range ready {
+		mx = math.Max(mx, r)
+	}
+	return mx
+}
+
+// Best returns the strongest available lower bound.
+func Best(in *sched.Instance) float64 {
+	return math.Max(LPRelaxation(in), MaxReady(in))
+}

@@ -1,0 +1,376 @@
+// Package core implements the paper's primary contribution: the iterative
+// technique for minimizing the completion times of non-makespan machines.
+//
+// Given a mapping heuristic, the technique repeatedly
+//
+//  1. runs the heuristic on the currently considered tasks and machines
+//     (the first run, over everything, is the "original mapping"),
+//  2. identifies the makespan machine, freezes it together with the tasks
+//     assigned to it, removes both from consideration, and
+//  3. resets the remaining machines to their initial ready times,
+//
+// until a single machine remains. Each machine's final completion time is
+// the one it had in the iteration in which it was frozen (or the last
+// iteration, for the survivor). The engine records a full Trace so
+// experiments can compare every iteration against the paper's tables.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/heuristics"
+	"repro/internal/sched"
+	"repro/internal/tiebreak"
+)
+
+// PolicyFunc supplies the tie-breaking policy for each iteration (iteration
+// 0 is the original mapping). Stateful policies (e.g. *tiebreak.Random) may
+// be returned repeatedly; fresh policies may be built per iteration.
+type PolicyFunc func(iteration int) tiebreak.Policy
+
+// Deterministic returns the canonical deterministic policy for every
+// iteration (lowest-index tie-breaking), the convention under which the
+// paper proves its invariance theorems.
+func Deterministic() PolicyFunc {
+	return func(int) tiebreak.Policy { return tiebreak.First{} }
+}
+
+// FixedPolicy returns p for every iteration.
+func FixedPolicy(p tiebreak.Policy) PolicyFunc {
+	return func(int) tiebreak.Policy { return p }
+}
+
+// Iteration is one run of the heuristic within the technique, in the global
+// coordinates of the full instance.
+type Iteration struct {
+	// Index is 0 for the original mapping.
+	Index int
+	// Tasks and Machines list the considered (global) indices, ascending.
+	Tasks, Machines []int
+	// Assign[i] is the global machine assigned to Tasks[i].
+	Assign []int
+	// Completion[j] is Machines[j]'s completion time under this iteration's
+	// mapping (initial ready time plus assigned ETCs).
+	Completion []float64
+	// Makespan is the largest entry of Completion, and MakespanMachine the
+	// global index of the machine attaining it (ties to the lowest index).
+	Makespan        float64
+	MakespanMachine int
+	// Frozen is the machine removed (with its tasks) after this iteration.
+	// Under the paper's rule it equals MakespanMachine; ablation freeze
+	// rules may differ. It is meaningless for the last iteration.
+	Frozen int
+}
+
+// completionOf returns this iteration's completion time for global machine
+// m, and whether m is active in the iteration.
+func (it *Iteration) completionOf(m int) (float64, bool) {
+	for j, mm := range it.Machines {
+		if mm == m {
+			return it.Completion[j], true
+		}
+	}
+	return 0, false
+}
+
+// MachineOutcome classifies a machine's final completion time against the
+// original mapping.
+type MachineOutcome int
+
+const (
+	Unchanged MachineOutcome = iota
+	Improved
+	Worsened
+)
+
+// String returns the label used in experiment reports.
+func (o MachineOutcome) String() string {
+	switch o {
+	case Improved:
+		return "improved"
+	case Worsened:
+		return "worsened"
+	case Unchanged:
+		return "unchanged"
+	default:
+		return fmt.Sprintf("MachineOutcome(%d)", int(o))
+	}
+}
+
+// Trace is the complete record of one run of the iterative technique.
+type Trace struct {
+	Instance   *sched.Instance
+	Heuristic  string
+	Iterations []Iteration
+	// FinalAssign[t] is task t's machine in the combined final mapping: the
+	// assignment from the iteration in which the task's machine was frozen
+	// (or from the last iteration).
+	FinalAssign []int
+	// FinalCompletion[m] is machine m's final completion time. Machines
+	// that end up with no considered tasks finish at their initial ready
+	// time.
+	FinalCompletion []float64
+}
+
+// Original returns the original (iteration-0) mapping as a full Schedule.
+func (tr *Trace) Original() (*sched.Schedule, error) {
+	it := tr.Iterations[0]
+	mp := sched.Mapping{Assign: make([]int, tr.Instance.Tasks())}
+	copy(mp.Assign, it.Assign) // iteration 0 covers all tasks in order
+	return sched.Evaluate(tr.Instance, mp)
+}
+
+// FinalSchedule evaluates the combined final mapping.
+func (tr *Trace) FinalSchedule() (*sched.Schedule, error) {
+	return sched.Evaluate(tr.Instance, sched.Mapping{Assign: tr.FinalAssign})
+}
+
+// OriginalMakespan returns the original mapping's makespan.
+func (tr *Trace) OriginalMakespan() float64 { return tr.Iterations[0].Makespan }
+
+// FinalMakespan returns the largest final completion time over all
+// machines.
+func (tr *Trace) FinalMakespan() float64 {
+	ms := math.Inf(-1)
+	for _, c := range tr.FinalCompletion {
+		ms = math.Max(ms, c)
+	}
+	return ms
+}
+
+// MakespanIncreased reports whether the technique made the overall makespan
+// strictly worse than the original mapping's — the pathology the paper
+// demonstrates for Min-Min/MCT/MET under random ties and for SWA/KPB/
+// Sufferage even under deterministic ties.
+func (tr *Trace) MakespanIncreased() bool {
+	return tr.FinalMakespan() > tr.OriginalMakespan()+comparisonEpsilon
+}
+
+// comparisonEpsilon matches the heuristics' tie tolerance.
+const comparisonEpsilon = 1e-9
+
+// MachineOutcomes classifies every machine's final completion time against
+// the original mapping.
+func (tr *Trace) MachineOutcomes() []MachineOutcome {
+	orig := tr.Iterations[0]
+	out := make([]MachineOutcome, tr.Instance.Machines())
+	for m := range out {
+		before, _ := orig.completionOf(m)
+		after := tr.FinalCompletion[m]
+		switch {
+		case after < before-comparisonEpsilon:
+			out[m] = Improved
+		case after > before+comparisonEpsilon:
+			out[m] = Worsened
+		default:
+			out[m] = Unchanged
+		}
+	}
+	return out
+}
+
+// Changed reports whether any iteration's mapping differs from the original
+// mapping restricted to that iteration's tasks — i.e. whether the technique
+// changed anything at all (the theorems say it cannot for Min-Min/MCT/MET
+// with deterministic ties).
+func (tr *Trace) Changed() bool {
+	orig := tr.Iterations[0]
+	origAssign := make(map[int]int, len(orig.Tasks))
+	for i, t := range orig.Tasks {
+		origAssign[t] = orig.Assign[i]
+	}
+	for _, it := range tr.Iterations[1:] {
+		for i, t := range it.Tasks {
+			if it.Assign[i] != origAssign[t] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FreezeRule selects which machine is removed (with its tasks) after each
+// iteration.
+type FreezeRule int
+
+const (
+	// FreezeMakespan freezes the last-finishing machine — the paper's rule.
+	FreezeMakespan FreezeRule = iota
+	// FreezeMinCompletion freezes the earliest-finishing machine instead.
+	// It exists for ablation: it shows that the technique's point is
+	// specifically to re-optimise around the *makespan* machine, and that
+	// freezing from the other end merely replays the theorem heuristics'
+	// mappings while destroying the improvement opportunity for the rest.
+	FreezeMinCompletion
+)
+
+// Options tune the iterative technique for ablation studies. The zero value
+// is the paper's technique.
+type Options struct {
+	// MaxIterations caps the number of heuristic runs (0 = no cap, iterate
+	// until one machine remains). MaxIterations=1 computes only the
+	// original mapping; 2 adds the first iterative mapping — the setting of
+	// the paper's example tables.
+	MaxIterations int
+	// FreezeRule selects the frozen machine per iteration.
+	FreezeRule FreezeRule
+}
+
+// Iterate runs the paper's iterative technique to completion.
+func Iterate(in *sched.Instance, h heuristics.Heuristic, policy PolicyFunc) (*Trace, error) {
+	return IterateOpts(in, h, policy, Options{})
+}
+
+// IterateOpts is Iterate with ablation options.
+func IterateOpts(in *sched.Instance, h heuristics.Heuristic, policy PolicyFunc, opts Options) (*Trace, error) {
+	if in == nil {
+		return nil, errors.New("core: nil instance")
+	}
+	if h == nil {
+		return nil, errors.New("core: nil heuristic")
+	}
+	if policy == nil {
+		return nil, errors.New("core: nil policy")
+	}
+	if opts.MaxIterations < 0 {
+		return nil, fmt.Errorf("core: MaxIterations %d < 0", opts.MaxIterations)
+	}
+	if opts.FreezeRule != FreezeMakespan && opts.FreezeRule != FreezeMinCompletion {
+		return nil, fmt.Errorf("core: unknown freeze rule %d", opts.FreezeRule)
+	}
+	tr := &Trace{
+		Instance:        in,
+		Heuristic:       h.Name(),
+		FinalAssign:     make([]int, in.Tasks()),
+		FinalCompletion: make([]float64, in.Machines()),
+	}
+	for m := 0; m < in.Machines(); m++ {
+		tr.FinalCompletion[m] = in.Ready(m) // default for machines left idle
+	}
+
+	activeTasks := ascending(in.Tasks())
+	activeMachines := ascending(in.Machines())
+	var prev *Iteration // previous iteration, for seeding
+
+	for iter := 0; len(activeMachines) > 0 && len(activeTasks) > 0 &&
+		(opts.MaxIterations == 0 || iter < opts.MaxIterations); iter++ {
+		sub, err := in.Restrict(activeTasks, activeMachines)
+		if err != nil {
+			return nil, fmt.Errorf("core: iteration %d: %w", iter, err)
+		}
+		mp, err := runHeuristic(h, sub, policy(iter), prev, activeTasks, activeMachines)
+		if err != nil {
+			return nil, fmt.Errorf("core: iteration %d: %w", iter, err)
+		}
+		s, err := sched.Evaluate(sub, mp)
+		if err != nil {
+			return nil, fmt.Errorf("core: iteration %d: heuristic %s produced invalid mapping: %w", iter, h.Name(), err)
+		}
+		it := Iteration{
+			Index:      iter,
+			Tasks:      append([]int(nil), activeTasks...),
+			Machines:   append([]int(nil), activeMachines...),
+			Assign:     make([]int, len(activeTasks)),
+			Completion: append([]float64(nil), s.Completion...),
+		}
+		for i := range activeTasks {
+			it.Assign[i] = activeMachines[mp.Assign[i]]
+		}
+		local, ms := s.MakespanMachine()
+		it.MakespanMachine = activeMachines[local]
+		it.Makespan = ms
+		switch opts.FreezeRule {
+		case FreezeMinCompletion:
+			minLocal := 0
+			for j, c := range s.Completion {
+				if c < s.Completion[minLocal] {
+					minLocal = j
+				}
+			}
+			it.Frozen = activeMachines[minLocal]
+		default:
+			it.Frozen = it.MakespanMachine
+		}
+		tr.Iterations = append(tr.Iterations, it)
+
+		// Record final state for this iteration's machines; later
+		// iterations overwrite the survivors.
+		for j, m := range it.Machines {
+			tr.FinalCompletion[m] = it.Completion[j]
+		}
+		for i, t := range it.Tasks {
+			tr.FinalAssign[t] = it.Assign[i]
+		}
+
+		if len(activeMachines) == 1 {
+			break
+		}
+		// Freeze the selected machine and its tasks.
+		frozen := it.Frozen
+		activeMachines = remove(activeMachines, frozen)
+		var keep []int
+		for i, t := range it.Tasks {
+			if it.Assign[i] != frozen {
+				keep = append(keep, t)
+			}
+		}
+		activeTasks = keep
+		prevIt := it
+		prev = &prevIt
+	}
+	return tr, nil
+}
+
+// runHeuristic invokes h, seeding it with the previous iteration's mapping
+// (restricted to the active sets) when the heuristic supports seeding.
+func runHeuristic(h heuristics.Heuristic, sub *sched.Instance, tb tiebreak.Policy,
+	prev *Iteration, activeTasks, activeMachines []int) (sched.Mapping, error) {
+	seedable, ok := h.(heuristics.Seedable)
+	if !ok || prev == nil {
+		return h.Map(sub, tb)
+	}
+	// Build the seed in local coordinates. Every active task was mapped in
+	// the previous iteration to an active machine (the frozen machine's
+	// tasks were removed with it).
+	prevAssign := make(map[int]int, len(prev.Tasks))
+	for i, t := range prev.Tasks {
+		prevAssign[t] = prev.Assign[i]
+	}
+	machineLocal := make(map[int]int, len(activeMachines))
+	for j, m := range activeMachines {
+		machineLocal[m] = j
+	}
+	seed := sched.NewMapping(len(activeTasks))
+	for i, t := range activeTasks {
+		g, ok := prevAssign[t]
+		if !ok {
+			return h.Map(sub, tb) // defensive: no usable seed
+		}
+		l, ok := machineLocal[g]
+		if !ok {
+			return h.Map(sub, tb)
+		}
+		seed.Assign[i] = l
+	}
+	return seedable.MapSeeded(sub, tb, seed)
+}
+
+func ascending(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+func remove(s []int, v int) []int {
+	out := make([]int, 0, len(s)-1)
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}

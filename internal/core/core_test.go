@@ -1,0 +1,352 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/etc"
+	"repro/internal/heuristics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/tiebreak"
+)
+
+func inst(t *testing.T, vs [][]float64) *sched.Instance {
+	t.Helper()
+	in, err := sched.NewInstance(etc.MustNew(vs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func randomInstance(t *testing.T, src *rng.Source, tasks, machines int) *sched.Instance {
+	t.Helper()
+	m, err := etc.GenerateRange(etc.RangeParams{Tasks: tasks, Machines: machines, TaskHet: 50, MachineHet: 8}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := sched.NewInstance(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestIterateArgumentValidation(t *testing.T) {
+	in := inst(t, [][]float64{{1}})
+	if _, err := Iterate(nil, heuristics.MCT{}, Deterministic()); err == nil {
+		t.Error("nil instance accepted")
+	}
+	if _, err := Iterate(in, nil, Deterministic()); err == nil {
+		t.Error("nil heuristic accepted")
+	}
+	if _, err := Iterate(in, heuristics.MCT{}, nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestIterateSingleMachine(t *testing.T) {
+	in := inst(t, [][]float64{{2}, {3}})
+	tr, err := Iterate(in, heuristics.MCT{}, Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Iterations) != 1 {
+		t.Fatalf("iterations = %d, want 1", len(tr.Iterations))
+	}
+	if tr.FinalCompletion[0] != 5 {
+		t.Fatalf("final completion = %g, want 5", tr.FinalCompletion[0])
+	}
+	if tr.Changed() {
+		t.Fatal("single-machine trace reports change")
+	}
+}
+
+func TestIterateStructure(t *testing.T) {
+	src := rng.New(31)
+	in := randomInstance(t, src, 12, 4)
+	tr, err := Iterate(in, heuristics.MinMin{}, Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Iterations) != 4 {
+		t.Fatalf("iterations = %d, want 4 (one per machine)", len(tr.Iterations))
+	}
+	for i, it := range tr.Iterations {
+		if it.Index != i {
+			t.Errorf("iteration %d has index %d", i, it.Index)
+		}
+		if len(it.Machines) != 4-i {
+			t.Errorf("iteration %d considers %d machines, want %d", i, len(it.Machines), 4-i)
+		}
+		if len(it.Tasks) != len(it.Assign) {
+			t.Errorf("iteration %d: %d tasks, %d assignments", i, len(it.Tasks), len(it.Assign))
+		}
+		// Every assignment must target a considered machine.
+		active := make(map[int]bool)
+		for _, m := range it.Machines {
+			active[m] = true
+		}
+		for _, m := range it.Assign {
+			if !active[m] {
+				t.Errorf("iteration %d assigned a frozen machine %d", i, m)
+			}
+		}
+		if i > 0 {
+			// The previous makespan machine must be gone.
+			if active[tr.Iterations[i-1].MakespanMachine] {
+				t.Errorf("iteration %d still considers frozen machine %d", i, tr.Iterations[i-1].MakespanMachine)
+			}
+		}
+	}
+}
+
+func TestFinalAssignCoversAllTasks(t *testing.T) {
+	src := rng.New(32)
+	in := randomInstance(t, src, 15, 5)
+	tr, err := Iterate(in, heuristics.MCT{}, Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := tr.FinalSchedule()
+	if err != nil {
+		t.Fatalf("final schedule invalid: %v", err)
+	}
+	// FinalCompletion must agree with evaluating the combined mapping.
+	for m, c := range fs.Completion {
+		if math.Abs(c-tr.FinalCompletion[m]) > 1e-9 {
+			t.Fatalf("machine %d: FinalCompletion %g != evaluated %g", m, tr.FinalCompletion[m], c)
+		}
+	}
+}
+
+func TestFrozenMachineCompletionPreserved(t *testing.T) {
+	src := rng.New(33)
+	in := randomInstance(t, src, 10, 3)
+	tr, err := Iterate(in, heuristics.MinMin{}, Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range tr.Iterations[:len(tr.Iterations)-1] {
+		frozen := it.MakespanMachine
+		want := it.Makespan
+		if got := tr.FinalCompletion[frozen]; math.Abs(got-want) > 1e-9 {
+			t.Fatalf("iteration %d froze machine %d at %g, final says %g", i, frozen, want, got)
+		}
+	}
+}
+
+// Theorem tests (paper sections 3.2-3.4): with deterministic tie-breaking,
+// Min-Min, MCT and MET produce identical mappings in every iteration.
+func TestTheoremInvarianceDeterministicTies(t *testing.T) {
+	hs := []heuristics.Heuristic{heuristics.MinMin{}, heuristics.MCT{}, heuristics.MET{}}
+	src := rng.New(99)
+	for trial := 0; trial < 60; trial++ {
+		tasks := 2 + src.Intn(15)
+		machines := 2 + src.Intn(5)
+		in := randomInstance(t, src, tasks, machines)
+		for _, h := range hs {
+			tr, err := Iterate(in, h, Deterministic())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Changed() {
+				t.Fatalf("trial %d: %s changed its mapping under deterministic ties\n%v",
+					trial, h.Name(), in.ETC())
+			}
+			for m, o := range tr.MachineOutcomes() {
+				if o != Unchanged {
+					t.Fatalf("trial %d: %s machine %d outcome %v, want unchanged", trial, h.Name(), m, o)
+				}
+			}
+			if tr.MakespanIncreased() {
+				t.Fatalf("trial %d: %s makespan increased under deterministic ties", trial, h.Name())
+			}
+		}
+	}
+}
+
+// The theorems hold for any fixed deterministic rule, not just lowest-index.
+func TestTheoremInvarianceWithLastPolicy(t *testing.T) {
+	src := rng.New(123)
+	for trial := 0; trial < 30; trial++ {
+		in := randomInstance(t, src, 2+src.Intn(10), 2+src.Intn(4))
+		for _, h := range []heuristics.Heuristic{heuristics.MinMin{}, heuristics.MCT{}, heuristics.MET{}} {
+			tr, err := Iterate(in, h, FixedPolicy(tiebreak.Last{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Changed() {
+				t.Fatalf("%s changed mapping under deterministic-last ties", h.Name())
+			}
+		}
+	}
+}
+
+// With integer-valued ETCs ties are common; random tie-breaking must still
+// yield structurally valid traces, and seeded heuristics must never worsen.
+func TestSeededNeverWorsensMakespan(t *testing.T) {
+	src := rng.New(77)
+	for trial := 0; trial < 40; trial++ {
+		tasks := 3 + src.Intn(10)
+		machines := 2 + src.Intn(4)
+		vs := make([][]float64, tasks)
+		for i := range vs {
+			vs[i] = make([]float64, machines)
+			for j := range vs[i] {
+				vs[i][j] = float64(1 + src.Intn(6)) // small ints: many ties
+			}
+		}
+		in := inst(t, vs)
+		h := heuristics.Seeded{Inner: heuristics.MCT{}}
+		tr, err := Iterate(in, h, FixedPolicy(tiebreak.NewRandom(src.Split())))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.MakespanIncreased() {
+			t.Fatalf("trial %d: seeded MCT increased makespan %g -> %g",
+				trial, tr.OriginalMakespan(), tr.FinalMakespan())
+		}
+	}
+}
+
+func TestGenitorNeverWorsensAcrossIterations(t *testing.T) {
+	src := rng.New(55)
+	for trial := 0; trial < 5; trial++ {
+		in := randomInstance(t, src, 8, 3)
+		g := heuristics.NewGenitor(heuristics.GenitorConfig{PopulationSize: 16, Steps: 60}, uint64(trial))
+		tr, err := Iterate(in, g, Deterministic())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.MakespanIncreased() {
+			t.Fatalf("trial %d: Genitor increased makespan %g -> %g",
+				trial, tr.OriginalMakespan(), tr.FinalMakespan())
+		}
+	}
+}
+
+// A hand-built instance where random tie-breaking lets MET worsen: exactly
+// the mechanism of the paper's MET example. Machine 0 is frozen first; task
+// 1's MET tie between machines 1 and 2 resolves differently in the first
+// iterative mapping, piling tasks 1 and 2 onto machine 2.
+func TestRandomTiesCanWorsenMET(t *testing.T) {
+	in := inst(t, [][]float64{
+		{4, 9, 9}, // -> m0
+		{9, 2, 2}, // MET tie m1/m2
+		{9, 9, 3}, // -> m2
+	})
+	// Original (deterministic): t0->m0 (4), t1->m1 (2), t2->m2 (3):
+	// makespan machine m0. Iterative with the tie flipped: t1->m2, t2->m2:
+	// CT m2 = 5 > 4.
+	det, err := Iterate(in, heuristics.MET{}, Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Changed() || det.MakespanIncreased() {
+		t.Fatal("deterministic MET must be invariant")
+	}
+	flipped, err := Iterate(in, heuristics.MET{}, func(iter int) tiebreak.Policy {
+		if iter == 0 {
+			return tiebreak.First{}
+		}
+		return &tiebreak.Scripted{Script: []int{1}} // flip the first tie
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flipped.MakespanIncreased() {
+		t.Fatalf("expected makespan increase, got %g -> %g",
+			flipped.OriginalMakespan(), flipped.FinalMakespan())
+	}
+	outcomes := flipped.MachineOutcomes()
+	if outcomes[1] != Improved || outcomes[2] != Worsened {
+		t.Fatalf("outcomes = %v, want machine 1 improved and machine 2 worsened", outcomes)
+	}
+}
+
+func TestMoreMachinesThanTasks(t *testing.T) {
+	// 2 tasks, 4 machines: after freezing the machines that got tasks, the
+	// remaining machines have nothing to map and finish at their ready
+	// times.
+	in := inst(t, [][]float64{
+		{1, 9, 9, 9},
+		{9, 1, 9, 9},
+	})
+	tr, err := Iterate(in, heuristics.MCT{}, Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := tr.FinalSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Completion[2] != 0 || fs.Completion[3] != 0 {
+		t.Fatalf("idle machines should finish at 0: %v", fs.Completion)
+	}
+	if tr.FinalCompletion[2] != 0 || tr.FinalCompletion[3] != 0 {
+		t.Fatalf("FinalCompletion for idle machines = %v", tr.FinalCompletion)
+	}
+}
+
+func TestMakespanMachineTieFreezesLowestIndex(t *testing.T) {
+	in := inst(t, [][]float64{
+		{3, 9, 9},
+		{9, 3, 9},
+		{9, 9, 1},
+	})
+	// Original MET/MCT: completions (3, 3, 1); makespan tie between m0 and
+	// m1 must freeze m0.
+	tr, err := Iterate(in, heuristics.MCT{}, Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Iterations[0].MakespanMachine != 0 {
+		t.Fatalf("frozen machine = %d, want 0", tr.Iterations[0].MakespanMachine)
+	}
+}
+
+func TestOriginalAccessor(t *testing.T) {
+	in := inst(t, [][]float64{{2, 9}, {9, 3}})
+	tr, err := Iterate(in, heuristics.MCT{}, Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := tr.Original()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Makespan() != tr.OriginalMakespan() {
+		t.Fatalf("Original() makespan %g != OriginalMakespan() %g", orig.Makespan(), tr.OriginalMakespan())
+	}
+}
+
+func TestMachineOutcomeString(t *testing.T) {
+	if Improved.String() != "improved" || Worsened.String() != "worsened" || Unchanged.String() != "unchanged" {
+		t.Fatal("outcome labels wrong")
+	}
+}
+
+// All registered heuristics must complete the iterative technique on random
+// workloads and produce consistent traces.
+func TestIterateAllHeuristics(t *testing.T) {
+	src := rng.New(500)
+	in := randomInstance(t, src, 10, 4)
+	for _, name := range heuristics.Names() {
+		h, err := heuristics.ByName(name, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Iterate(in, h, Deterministic())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := tr.FinalSchedule(); err != nil {
+			t.Fatalf("%s: invalid final schedule: %v", name, err)
+		}
+		if tr.FinalMakespan() <= 0 {
+			t.Fatalf("%s: nonsensical final makespan %g", name, tr.FinalMakespan())
+		}
+	}
+}

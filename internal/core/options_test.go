@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/heuristics"
+	"repro/internal/rng"
+)
+
+func TestIterateOptsValidation(t *testing.T) {
+	in := inst(t, [][]float64{{1, 2}})
+	if _, err := IterateOpts(in, heuristics.MCT{}, Deterministic(), Options{MaxIterations: -1}); err == nil {
+		t.Error("negative MaxIterations accepted")
+	}
+	if _, err := IterateOpts(in, heuristics.MCT{}, Deterministic(), Options{FreezeRule: FreezeRule(9)}); err == nil {
+		t.Error("unknown freeze rule accepted")
+	}
+}
+
+func TestMaxIterationsCap(t *testing.T) {
+	in := randomInstance(t, rng.New(61), 12, 5)
+	for _, cap := range []int{1, 2, 3} {
+		tr, err := IterateOpts(in, heuristics.Sufferage{}, Deterministic(), Options{MaxIterations: cap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Iterations) != cap {
+			t.Fatalf("cap %d: got %d iterations", cap, len(tr.Iterations))
+		}
+	}
+}
+
+func TestMaxIterationsOnePreservesOriginal(t *testing.T) {
+	in := randomInstance(t, rng.New(62), 10, 4)
+	tr, err := IterateOpts(in, heuristics.MCT{}, Deterministic(), Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := tr.Original()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, c := range orig.Completion {
+		if tr.FinalCompletion[m] != c {
+			t.Fatalf("machine %d: final %g != original %g with MaxIterations=1", m, tr.FinalCompletion[m], c)
+		}
+	}
+	if tr.Changed() {
+		t.Fatal("MaxIterations=1 cannot change anything")
+	}
+}
+
+func TestZeroOptionsIsPaperTechnique(t *testing.T) {
+	in := randomInstance(t, rng.New(63), 10, 4)
+	a, err := Iterate(in, heuristics.MinMin{}, Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := IterateOpts(in, heuristics.MinMin{}, Deterministic(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Iterations) != len(b.Iterations) || a.FinalMakespan() != b.FinalMakespan() {
+		t.Fatal("zero Options diverges from Iterate")
+	}
+}
+
+func TestFrozenEqualsMakespanUnderPaperRule(t *testing.T) {
+	in := randomInstance(t, rng.New(64), 10, 4)
+	tr, err := Iterate(in, heuristics.MCT{}, Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range tr.Iterations[:len(tr.Iterations)-1] {
+		if it.Frozen != it.MakespanMachine {
+			t.Fatalf("iteration %d: Frozen %d != MakespanMachine %d under the paper's rule",
+				i, it.Frozen, it.MakespanMachine)
+		}
+	}
+}
+
+func TestFreezeMinCompletionAblation(t *testing.T) {
+	in := inst(t, [][]float64{
+		{5, 9, 9},
+		{9, 3, 9},
+		{9, 9, 1},
+	})
+	tr, err := IterateOpts(in, heuristics.MCT{}, Deterministic(), Options{FreezeRule: FreezeMinCompletion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original completions (5, 3, 1): the min rule freezes machine 2 first,
+	// then machine 1.
+	if tr.Iterations[0].Frozen != 2 {
+		t.Fatalf("first frozen = %d, want 2", tr.Iterations[0].Frozen)
+	}
+	if got := tr.Iterations[0].MakespanMachine; got != 0 {
+		t.Fatalf("makespan machine = %d, want 0 (informational, unaffected by rule)", got)
+	}
+	if len(tr.Iterations) != 3 {
+		t.Fatalf("iterations = %d", len(tr.Iterations))
+	}
+	if tr.Iterations[1].Frozen != 1 {
+		t.Fatalf("second frozen = %d, want 1", tr.Iterations[1].Frozen)
+	}
+}
+
+// Ablation property: under the min-completion freeze rule the theorem
+// heuristics are still invariant (the proof does not depend on which machine
+// is removed, only on removal plus reset).
+func TestTheoremInvarianceHoldsForMinFreezeRule(t *testing.T) {
+	src := rng.New(65)
+	for trial := 0; trial < 25; trial++ {
+		in := randomInstance(t, src, 2+src.Intn(10), 2+src.Intn(4))
+		for _, h := range []heuristics.Heuristic{heuristics.MinMin{}, heuristics.MCT{}, heuristics.MET{}} {
+			tr, err := IterateOpts(in, h, Deterministic(), Options{FreezeRule: FreezeMinCompletion})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Changed() {
+				t.Fatalf("%s changed under min-completion freezing with deterministic ties", h.Name())
+			}
+		}
+	}
+}

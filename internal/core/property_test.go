@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/etc"
+	"repro/internal/heuristics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// Property-based suites (testing/quick) for the iterative engine's
+// structural invariants.
+
+func quickInstance(seed uint64, maxTasks, maxMachines int) (*sched.Instance, error) {
+	src := rng.New(seed)
+	m, err := etc.GenerateRange(etc.RangeParams{
+		Tasks:      1 + src.Intn(maxTasks),
+		Machines:   1 + src.Intn(maxMachines),
+		TaskHet:    100,
+		MachineHet: 10,
+	}, src)
+	if err != nil {
+		return nil, err
+	}
+	return sched.NewInstance(m, nil)
+}
+
+// The frozen machines' task sets partition all tasks: every task appears in
+// FinalAssign on a machine that was active when the task was last mapped.
+func TestPropertyFinalAssignPartition(t *testing.T) {
+	f := func(seed uint64) bool {
+		in, err := quickInstance(seed, 14, 5)
+		if err != nil {
+			return false
+		}
+		tr, err := Iterate(in, heuristics.MinMin{}, Deterministic())
+		if err != nil {
+			return false
+		}
+		fs, err := tr.FinalSchedule()
+		if err != nil {
+			return false
+		}
+		// Evaluated final completions must equal the trace's.
+		for m, c := range fs.Completion {
+			if math.Abs(c-tr.FinalCompletion[m]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Capping the iteration count yields a prefix of the uncapped run
+// (deterministic policies).
+func TestPropertyMaxIterationsIsPrefix(t *testing.T) {
+	f := func(seed uint64) bool {
+		in, err := quickInstance(seed, 12, 5)
+		if err != nil {
+			return false
+		}
+		full, err := Iterate(in, heuristics.MCT{}, Deterministic())
+		if err != nil {
+			return false
+		}
+		for n := 1; n <= len(full.Iterations); n++ {
+			capped, err := IterateOpts(in, heuristics.MCT{}, Deterministic(), Options{MaxIterations: n})
+			if err != nil {
+				return false
+			}
+			if len(capped.Iterations) != n {
+				return false
+			}
+			for i := 0; i < n; i++ {
+				a, b := capped.Iterations[i], full.Iterations[i]
+				if a.Makespan != b.Makespan || a.MakespanMachine != b.MakespanMachine {
+					return false
+				}
+				for j := range a.Assign {
+					if a.Assign[j] != b.Assign[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Iteration makespans never increase across iterations when restricted to
+// the surviving machines — freezing the max machine and re-optimising can
+// only help or keep the *active* makespan... is false in general (the paper's
+// point!), but it IS true for the theorem heuristics under deterministic
+// ties, where nothing changes at all.
+func TestPropertyTheoremHeuristicsActiveMakespanMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		in, err := quickInstance(seed, 12, 5)
+		if err != nil {
+			return false
+		}
+		for _, h := range []heuristics.Heuristic{heuristics.MET{}, heuristics.MCT{}, heuristics.MinMin{}} {
+			tr, err := Iterate(in, h, Deterministic())
+			if err != nil {
+				return false
+			}
+			for i := 1; i < len(tr.Iterations); i++ {
+				if tr.Iterations[i].Makespan > tr.Iterations[i-1].Makespan+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The whole technique is scale-invariant for scale-invariant heuristics:
+// scaling the ETC scales every recorded completion time and preserves all
+// assignments.
+func TestPropertyIterateScaleInvariance(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		in, err := quickInstance(seed, 10, 4)
+		if err != nil {
+			return false
+		}
+		scale := 0.5 + 3*src.Float64()
+		vs := in.ETC().Values()
+		for _, row := range vs {
+			for j := range row {
+				row[j] *= scale
+			}
+		}
+		m2, err := etc.New(vs)
+		if err != nil {
+			return false
+		}
+		in2, err := sched.NewInstance(m2, nil)
+		if err != nil {
+			return false
+		}
+		a, err := Iterate(in, heuristics.Sufferage{}, Deterministic())
+		if err != nil {
+			return false
+		}
+		b, err := Iterate(in2, heuristics.Sufferage{}, Deterministic())
+		if err != nil {
+			return false
+		}
+		if len(a.Iterations) != len(b.Iterations) {
+			return false
+		}
+		for m := range a.FinalCompletion {
+			if math.Abs(a.FinalCompletion[m]*scale-b.FinalCompletion[m]) > 1e-6*(1+b.FinalCompletion[m]) {
+				return false
+			}
+		}
+		for t2 := range a.FinalAssign {
+			if a.FinalAssign[t2] != b.FinalAssign[t2] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Machine outcomes and makespan classification agree: the makespan increased
+// exactly when some machine worsened beyond the original overall makespan.
+func TestPropertyOutcomeConsistency(t *testing.T) {
+	f := func(seed uint64) bool {
+		in, err := quickInstance(seed, 12, 4)
+		if err != nil {
+			return false
+		}
+		tr, err := Iterate(in, heuristics.KPercentBest{Percent: 70}, Deterministic())
+		if err != nil {
+			return false
+		}
+		if tr.MakespanIncreased() != (tr.FinalMakespan() > tr.OriginalMakespan()+1e-9) {
+			return false
+		}
+		// If nothing changed, no machine may be classified as changed.
+		if !tr.Changed() {
+			for _, o := range tr.MachineOutcomes() {
+				if o != Unchanged {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

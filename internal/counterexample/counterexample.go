@@ -1,0 +1,261 @@
+// Package counterexample searches for ETC matrices that demonstrate the
+// paper's phenomena: mappings that get *worse* under the iterative
+// technique. It serves two purposes:
+//
+//  1. Reconstruction — the OCR of the paper lost the numeric cells of its
+//     example tables, but kept every completion-time trace. The searcher
+//     finds small matrices that reproduce those traces exactly; the results
+//     are pinned in internal/experiments.
+//  2. Evidence — the paper proves existence by single examples; the searcher
+//     measures how common such instances are (see internal/sim) and lets
+//     users hunt counterexamples for their own parameter choices.
+//
+// The search fans random candidate matrices out to a worker pool and, for
+// heuristics whose pathology needs random tie-breaking, exhaustively
+// explores every tie-resolution path of the iterative phase.
+package counterexample
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/etc"
+	"repro/internal/heuristics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/tiebreak"
+)
+
+// PathResult is one fully resolved tie path of the iterative phase.
+type PathResult struct {
+	// Script encodes the tie choices of iterations >= 1 (see
+	// tiebreak.Scripted); an empty script is the all-deterministic path.
+	Script []int
+	Trace  *core.Trace
+}
+
+// ExploreTiePaths runs the iterative technique once per distinct resolution
+// of the ties encountered in iterations >= 1, with iteration 0 (the original
+// mapping) fixed to deterministic lowest-index tie-breaking — exactly the
+// paper's setup ("in the original mapping we considered that this tie was
+// broken by ..."). Exploration is depth-first and stops after maxPaths
+// traces. The first result is always the all-deterministic path.
+func ExploreTiePaths(in *sched.Instance, h heuristics.Heuristic, maxPaths int) ([]PathResult, error) {
+	var out []PathResult
+	var explore func(script []int) error
+	explore = func(script []int) error {
+		if len(out) >= maxPaths {
+			return nil
+		}
+		scripted := &tiebreak.Scripted{Script: script}
+		rec := tiebreak.NewRecorder(scripted)
+		policy := func(iter int) tiebreak.Policy {
+			if iter == 0 {
+				return tiebreak.First{}
+			}
+			return rec
+		}
+		tr, err := core.Iterate(in, h, policy)
+		if err != nil {
+			return err
+		}
+		cp := make([]int, len(script))
+		copy(cp, script)
+		out = append(out, PathResult{Script: cp, Trace: tr})
+		// Branch at the first tie beyond the current script: the run just
+		// taken chose candidate 0 there (Scripted falls back to First).
+		if len(rec.Ties) > len(script) {
+			width := len(rec.Ties[len(script)])
+			for v := 1; v < width; v++ {
+				if err := explore(append(cp, v)); err != nil {
+					return err
+				}
+				if len(out) >= maxPaths {
+					return nil
+				}
+			}
+		}
+		return nil
+	}
+	if err := explore(nil); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Target describes what a counterexample must exhibit.
+type Target struct {
+	// Heuristic builds a fresh heuristic per attempt (heuristics are cheap;
+	// stochastic ones need per-worker isolation).
+	Heuristic func() heuristics.Heuristic
+	// DeterministicOnly restricts the search to the all-deterministic path:
+	// the matrix itself must make the iterative technique worsen (the
+	// SWA/KPB/Sufferage phenomenon). Otherwise all tie paths are explored
+	// and any worsening path qualifies (the Min-Min/MCT/MET phenomenon).
+	DeterministicOnly bool
+	// OriginalCTs, if non-nil, requires the original mapping's machine
+	// completion times to equal this multiset (compared sorted, tolerance
+	// 1e-9).
+	OriginalCTs []float64
+	// FinalCTs, if non-nil, requires the qualifying path's final machine
+	// completion times to equal this multiset.
+	FinalCTs []float64
+	// MaxPaths caps tie-path exploration per candidate (default 64).
+	MaxPaths int
+}
+
+// Matches checks a fully explored candidate against the target and returns
+// the qualifying path, if any.
+func (tg Target) Matches(in *sched.Instance, h heuristics.Heuristic) (*PathResult, bool, error) {
+	maxPaths := tg.MaxPaths
+	if maxPaths <= 0 {
+		maxPaths = 64
+	}
+	if tg.DeterministicOnly {
+		maxPaths = 1
+	}
+	paths, err := ExploreTiePaths(in, h, maxPaths)
+	if err != nil {
+		return nil, false, err
+	}
+	orig := paths[0].Trace
+	if tg.OriginalCTs != nil {
+		origCTs := make([]float64, len(orig.Iterations[0].Completion))
+		copy(origCTs, orig.Iterations[0].Completion)
+		if !multisetEqual(origCTs, tg.OriginalCTs) {
+			return nil, false, nil
+		}
+	}
+	start := 0
+	if !tg.DeterministicOnly {
+		start = 1 // the pathology must come from an alternate tie path
+	}
+	for i := start; i < len(paths); i++ {
+		p := paths[i]
+		if !p.Trace.MakespanIncreased() {
+			continue
+		}
+		if tg.FinalCTs != nil && !multisetEqual(p.Trace.FinalCompletion, tg.FinalCTs) {
+			continue
+		}
+		res := p
+		return &res, true, nil
+	}
+	return nil, false, nil
+}
+
+func multisetEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	for i := range as {
+		if math.Abs(as[i]-bs[i]) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// Generator produces candidate matrices.
+type Generator func(src *rng.Source) *etc.Matrix
+
+// GridGenerator draws each entry uniformly from values — small grids keep
+// ties frequent, which is what the pathologies need.
+func GridGenerator(tasks, machines int, values []float64) Generator {
+	return func(src *rng.Source) *etc.Matrix {
+		vs := make([][]float64, tasks)
+		for t := range vs {
+			vs[t] = make([]float64, machines)
+			for m := range vs[t] {
+				vs[t][m] = values[src.Intn(len(values))]
+			}
+		}
+		return etc.MustNew(vs)
+	}
+}
+
+// IntGrid returns the values 1..n as floats.
+func IntGrid(n int) []float64 {
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = float64(i + 1)
+	}
+	return vs
+}
+
+// HalfGrid returns 0.5, 1.0, ..., n/2 (half-integer steps), matching the
+// paper's Sufferage example whose traces end in .5 values.
+func HalfGrid(n int) []float64 {
+	vs := make([]float64, n)
+	for i := range vs {
+		vs[i] = float64(i+1) / 2
+	}
+	return vs
+}
+
+// Result is a successful search outcome.
+type Result struct {
+	Matrix   *etc.Matrix
+	Path     PathResult
+	Attempts int64 // total candidates examined across workers
+}
+
+// Search draws candidates from gen until one matches target or attempts
+// candidates have been examined. It parallelises across GOMAXPROCS workers,
+// each with an independent deterministic stream split from seed. Candidate
+// streams are reproducible per (seed, worker count); which qualifying
+// candidate is reported first can vary with goroutine scheduling, so pin
+// matrices you want to keep.
+func Search(target Target, gen Generator, attempts int64, seed uint64) (*Result, bool) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		tried   int64
+		found   atomic.Pointer[Result]
+		wg      sync.WaitGroup
+		parent  = rng.New(seed)
+		sources = make([]*rng.Source, workers)
+	)
+	for i := range sources {
+		sources[i] = parent.Split()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(src *rng.Source) {
+			defer wg.Done()
+			h := target.Heuristic()
+			for found.Load() == nil {
+				if atomic.AddInt64(&tried, 1) > attempts {
+					return
+				}
+				m := gen(src)
+				in, err := sched.NewInstance(m, nil)
+				if err != nil {
+					continue
+				}
+				path, ok, err := target.Matches(in, h)
+				if err != nil || !ok {
+					continue
+				}
+				res := &Result{Matrix: m, Path: *path, Attempts: atomic.LoadInt64(&tried)}
+				found.CompareAndSwap(nil, res)
+				return
+			}
+		}(sources[w])
+	}
+	wg.Wait()
+	if r := found.Load(); r != nil {
+		return r, true
+	}
+	return nil, false
+}

@@ -1,0 +1,199 @@
+package counterexample
+
+import (
+	"testing"
+
+	"repro/internal/etc"
+	"repro/internal/heuristics"
+	"repro/internal/sched"
+)
+
+func inst(t *testing.T, vs [][]float64) *sched.Instance {
+	t.Helper()
+	in, err := sched.NewInstance(etc.MustNew(vs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestExploreTiePathsNoTies(t *testing.T) {
+	in := inst(t, [][]float64{{1, 5}, {5, 1}})
+	paths, err := ExploreTiePaths(in, heuristics.MCT{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("tie-free instance explored %d paths, want 1", len(paths))
+	}
+	if len(paths[0].Script) != 0 {
+		t.Fatalf("deterministic path has script %v", paths[0].Script)
+	}
+}
+
+func TestExploreTiePathsBranches(t *testing.T) {
+	// The MET counterexample shape: task 1 has a 2-way tie in the
+	// iterative mapping, so exploration yields at least 2 paths.
+	in := inst(t, [][]float64{
+		{4, 9, 9},
+		{9, 2, 2},
+		{9, 9, 3},
+	})
+	paths, err := ExploreTiePaths(in, heuristics.MET{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("expected >= 2 paths, got %d", len(paths))
+	}
+	// Exactly one of the alternate paths must worsen the makespan.
+	worse := 0
+	for _, p := range paths[1:] {
+		if p.Trace.MakespanIncreased() {
+			worse++
+		}
+	}
+	if worse == 0 {
+		t.Fatal("no worsening path found in the canonical MET counterexample")
+	}
+}
+
+func TestExploreTiePathsRespectsCap(t *testing.T) {
+	// Lots of ties: a uniform matrix.
+	in := inst(t, [][]float64{{2, 2, 2}, {2, 2, 2}, {2, 2, 2}, {2, 2, 2}})
+	paths, err := ExploreTiePaths(in, heuristics.MCT{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) > 5 {
+		t.Fatalf("cap ignored: %d paths", len(paths))
+	}
+}
+
+func TestMultisetEqual(t *testing.T) {
+	if !multisetEqual([]float64{1, 2, 3}, []float64{3, 1, 2}) {
+		t.Error("permutation not equal")
+	}
+	if multisetEqual([]float64{1, 2}, []float64{1, 2, 3}) {
+		t.Error("different lengths equal")
+	}
+	if multisetEqual([]float64{1, 2, 2}, []float64{1, 1, 2}) {
+		t.Error("different multiplicities equal")
+	}
+	if !multisetEqual(nil, nil) {
+		t.Error("empty sets unequal")
+	}
+}
+
+func TestGrids(t *testing.T) {
+	ig := IntGrid(3)
+	if len(ig) != 3 || ig[0] != 1 || ig[2] != 3 {
+		t.Fatalf("IntGrid = %v", ig)
+	}
+	hg := HalfGrid(4)
+	if len(hg) != 4 || hg[0] != 0.5 || hg[3] != 2 {
+		t.Fatalf("HalfGrid = %v", hg)
+	}
+}
+
+func TestTargetMatchesMETCounterexample(t *testing.T) {
+	in := inst(t, [][]float64{
+		{4, 9, 9},
+		{9, 2, 2},
+		{9, 9, 3},
+	})
+	tg := Target{
+		Heuristic:   func() heuristics.Heuristic { return heuristics.MET{} },
+		OriginalCTs: []float64{4, 2, 3},
+	}
+	path, ok, err := tg.Matches(in, heuristics.MET{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("canonical MET counterexample not matched")
+	}
+	if !path.Trace.MakespanIncreased() {
+		t.Fatal("matched path does not worsen")
+	}
+}
+
+func TestTargetRejectsWrongOriginal(t *testing.T) {
+	in := inst(t, [][]float64{
+		{4, 9, 9},
+		{9, 2, 2},
+		{9, 9, 3},
+	})
+	tg := Target{
+		Heuristic:   func() heuristics.Heuristic { return heuristics.MET{} },
+		OriginalCTs: []float64{1, 1, 1},
+	}
+	if _, ok, _ := tg.Matches(in, heuristics.MET{}); ok {
+		t.Fatal("wrong original CTs matched")
+	}
+}
+
+func TestTargetDeterministicOnly(t *testing.T) {
+	// MET cannot worsen deterministically (paper theorem): no instance may
+	// match a DeterministicOnly MET target.
+	in := inst(t, [][]float64{
+		{4, 9, 9},
+		{9, 2, 2},
+		{9, 9, 3},
+	})
+	tg := Target{
+		Heuristic:         func() heuristics.Heuristic { return heuristics.MET{} },
+		DeterministicOnly: true,
+	}
+	if _, ok, _ := tg.Matches(in, heuristics.MET{}); ok {
+		t.Fatal("MET matched a deterministic-only worsening target, contradicting the theorem")
+	}
+}
+
+func TestSearchFindsMETCounterexample(t *testing.T) {
+	tg := Target{
+		Heuristic: func() heuristics.Heuristic { return heuristics.MET{} },
+	}
+	res, ok := Search(tg, GridGenerator(4, 3, IntGrid(5)), 20000, 42)
+	if !ok {
+		t.Fatal("no MET counterexample found in 20000 attempts; they should be common on a small integer grid")
+	}
+	if !res.Path.Trace.MakespanIncreased() {
+		t.Fatal("search returned a non-worsening result")
+	}
+	// Re-verify the found matrix from scratch.
+	in, err := sched.NewInstance(res.Matrix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := tg.Matches(in, heuristics.MET{}); err != nil || !ok {
+		t.Fatalf("found matrix does not re-verify: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestSearchExhaustsBudget(t *testing.T) {
+	// An impossible target: deterministic MCT worsening (theorem forbids).
+	tg := Target{
+		Heuristic:         func() heuristics.Heuristic { return heuristics.MCT{} },
+		DeterministicOnly: true,
+	}
+	if _, ok := Search(tg, GridGenerator(3, 2, IntGrid(3)), 500, 1); ok {
+		t.Fatal("found a deterministic MCT counterexample, contradicting the theorem")
+	}
+}
+
+func TestSearchSufferageDeterministicWorsening(t *testing.T) {
+	// The paper's key qualitative claim: Sufferage CAN worsen even with
+	// deterministic ties. The searcher must find such an instance.
+	tg := Target{
+		Heuristic:         func() heuristics.Heuristic { return heuristics.Sufferage{} },
+		DeterministicOnly: true,
+	}
+	res, ok := Search(tg, GridGenerator(5, 3, IntGrid(6)), 200000, 7)
+	if !ok {
+		t.Fatal("no deterministic Sufferage counterexample found; the paper proves they exist")
+	}
+	if !res.Path.Trace.MakespanIncreased() {
+		t.Fatal("non-worsening result")
+	}
+}

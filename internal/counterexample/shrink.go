@@ -1,0 +1,99 @@
+package counterexample
+
+import (
+	"repro/internal/etc"
+	"repro/internal/sched"
+)
+
+// Shrink reduces a found counterexample while preserving the target
+// property, making it as close as possible to a paper-style minimal example:
+// it repeatedly tries to (a) drop a task row and (b) decrement an entry by
+// step, keeping any change under which the matrix still Matches the target.
+// The result is locally minimal: no single row removal or single-entry
+// decrement preserves the property.
+//
+// step must be positive (use 1 for integer grids, 0.5 for half grids).
+// Shrinking is deterministic: candidates are tried in ascending order.
+func Shrink(m *etc.Matrix, target Target, step float64) (*etc.Matrix, error) {
+	if step <= 0 {
+		step = 1
+	}
+	h := target.Heuristic()
+	matches := func(candidate *etc.Matrix) bool {
+		in, err := sched.NewInstance(candidate, nil)
+		if err != nil {
+			return false
+		}
+		_, ok, err := target.Matches(in, h)
+		return err == nil && ok
+	}
+	if !matches(m) {
+		return m, errNoMatch
+	}
+	cur := m
+	for {
+		improved := false
+		// (a) Try dropping each task row (needs at least 2 rows).
+		if cur.Tasks() > 1 {
+			for t := 0; t < cur.Tasks(); t++ {
+				keep := make([]int, 0, cur.Tasks()-1)
+				for i := 0; i < cur.Tasks(); i++ {
+					if i != t {
+						keep = append(keep, i)
+					}
+				}
+				cand, err := cur.SubMatrix(keep, allMachines(cur))
+				if err != nil {
+					continue
+				}
+				if matches(cand) {
+					cur = cand
+					improved = true
+					break
+				}
+			}
+			if improved {
+				continue
+			}
+		}
+		// (b) Try decrementing each entry by step (staying positive).
+		for t := 0; t < cur.Tasks() && !improved; t++ {
+			for j := 0; j < cur.Machines(); j++ {
+				v := cur.At(t, j)
+				if v-step <= 0 {
+					continue
+				}
+				vs := cur.Values()
+				vs[t][j] = v - step
+				cand, err := etc.New(vs)
+				if err != nil {
+					continue
+				}
+				if matches(cand) {
+					cur = cand
+					improved = true
+					break
+				}
+			}
+		}
+		if !improved {
+			return cur, nil
+		}
+	}
+}
+
+// errNoMatch reports a Shrink input that does not exhibit the target
+// property in the first place.
+var errNoMatch = errShrink("counterexample: matrix does not match the target; nothing to shrink")
+
+type errShrink string
+
+func (e errShrink) Error() string { return string(e) }
+
+func allMachines(m *etc.Matrix) []int {
+	ms := make([]int, m.Machines())
+	for i := range ms {
+		ms[i] = i
+	}
+	return ms
+}

@@ -1,0 +1,116 @@
+package counterexample
+
+import (
+	"testing"
+
+	"repro/internal/etc"
+	"repro/internal/heuristics"
+	"repro/internal/sched"
+)
+
+func metTarget() Target {
+	return Target{Heuristic: func() heuristics.Heuristic { return heuristics.MET{} }}
+}
+
+func TestShrinkPreservesProperty(t *testing.T) {
+	// A deliberately padded MET counterexample: the canonical 3x3 plus a
+	// harmless extra task and inflated entries.
+	m := etc.MustNew([][]float64{
+		{4, 9, 9},
+		{9, 2, 2},
+		{9, 9, 3},
+		{9, 0.5, 9}, // padding task: lands on m1 without disturbing the pathology
+	})
+	tg := metTarget()
+	small, err := Shrink(m, tg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := sched.NewInstance(small, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := tg.Matches(in, heuristics.MET{}); err != nil || !ok {
+		t.Fatalf("shrunk matrix lost the property: ok=%v err=%v\n%v", ok, err, small)
+	}
+	if small.Tasks() > m.Tasks() || sum(small) >= sum(m) {
+		t.Fatalf("shrink did not reduce the matrix:\nbefore\n%v\nafter\n%v", m, small)
+	}
+}
+
+func TestShrinkIsLocallyMinimal(t *testing.T) {
+	m := etc.MustNew([][]float64{
+		{4, 9, 9},
+		{9, 2, 2},
+		{9, 9, 3},
+	})
+	tg := metTarget()
+	small, err := Shrink(m, tg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := heuristics.MET{}
+	// No single further decrement may preserve the property.
+	for t2 := 0; t2 < small.Tasks(); t2++ {
+		for j := 0; j < small.Machines(); j++ {
+			v := small.At(t2, j)
+			if v-1 <= 0 {
+				continue
+			}
+			vs := small.Values()
+			vs[t2][j] = v - 1
+			cand, err := etc.New(vs)
+			if err != nil {
+				continue
+			}
+			in, err := sched.NewInstance(cand, nil)
+			if err != nil {
+				continue
+			}
+			if _, ok, _ := tg.Matches(in, h); ok {
+				t.Fatalf("entry [%d][%d] still reducible: result not minimal", t2, j)
+			}
+		}
+	}
+}
+
+func TestShrinkRejectsNonMatching(t *testing.T) {
+	m := etc.MustNew([][]float64{{1, 2}, {3, 4}})
+	if _, err := Shrink(m, metTarget(), 1); err == nil {
+		t.Fatal("non-matching input accepted")
+	}
+}
+
+func TestShrinkFoundSufferageExample(t *testing.T) {
+	// Shrink a freshly found deterministic Sufferage counterexample and
+	// re-verify it.
+	tg := Target{
+		Heuristic:         func() heuristics.Heuristic { return heuristics.Sufferage{} },
+		DeterministicOnly: true,
+	}
+	res, ok := Search(tg, GridGenerator(5, 3, IntGrid(6)), 300000, 7)
+	if !ok {
+		t.Skip("no counterexample found in budget")
+	}
+	small, err := Shrink(res.Matrix, tg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(small) > sum(res.Matrix) {
+		t.Fatal("shrink increased the matrix")
+	}
+	in, _ := sched.NewInstance(small, nil)
+	if _, ok, _ := tg.Matches(in, heuristics.Sufferage{}); !ok {
+		t.Fatalf("shrunk sufferage example lost the property:\n%v", small)
+	}
+}
+
+func sum(m *etc.Matrix) float64 {
+	total := 0.0
+	for t := 0; t < m.Tasks(); t++ {
+		for j := 0; j < m.Machines(); j++ {
+			total += m.At(t, j)
+		}
+	}
+	return total
+}

@@ -1,0 +1,74 @@
+package etc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the CSV parser and
+// that accepted matrices survive a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("1.5\n")
+	f.Add("")
+	f.Add("1,x\n")
+	f.Add("-1,2\n")
+	f.Add("1e308,1e308\n")
+	f.Add("0.5,0.25,0.125\n9,9,9\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := m.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted matrix failed to serialise: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !m.Equal(back) {
+			t.Fatal("round trip changed the matrix")
+		}
+	})
+}
+
+// FuzzNewMatrix checks validation never panics and accepted matrices obey
+// the documented invariants.
+func FuzzNewMatrix(f *testing.F) {
+	f.Add(2, 2, 1.0, 4.0)
+	f.Add(1, 1, 0.0, 0.0)
+	f.Add(3, 2, -1.0, 5.0)
+	f.Fuzz(func(t *testing.T, tasks, machines int, a, b float64) {
+		if tasks < 0 || machines < 0 || tasks > 64 || machines > 64 {
+			return
+		}
+		vs := make([][]float64, tasks)
+		for i := range vs {
+			vs[i] = make([]float64, machines)
+			for j := range vs[i] {
+				if (i+j)%2 == 0 {
+					vs[i][j] = a
+				} else {
+					vs[i][j] = b
+				}
+			}
+		}
+		m, err := New(vs)
+		if err != nil {
+			return
+		}
+		if m.Tasks() != tasks || m.Machines() != machines {
+			t.Fatal("accepted matrix misreports its shape")
+		}
+		for i := 0; i < tasks; i++ {
+			for j := 0; j < machines; j++ {
+				if m.At(i, j) <= 0 {
+					t.Fatal("accepted matrix contains a non-positive entry")
+				}
+			}
+		}
+	})
+}

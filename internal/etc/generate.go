@@ -1,0 +1,143 @@
+package etc
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// RangeParams configures the range-based ETC generation method of Braun et
+// al.: a task-heterogeneity baseline vector q[t] ~ U[1, TaskHet) scales a
+// machine-heterogeneity draw U[1, MachineHet) for each machine, giving
+// ETC[t][m] = q[t] * U[1, MachineHet).
+type RangeParams struct {
+	Tasks, Machines     int
+	TaskHet, MachineHet float64 // upper bounds of the uniform ranges, > 1
+	Consistency         Consistency
+}
+
+// GenerateRange builds a matrix with the range-based method. The canonical
+// literature values are TaskHet=3000 MachineHet=1000 (high/high) down to
+// TaskHet=100 MachineHet=10 (low/low).
+func GenerateRange(p RangeParams, src *rng.Source) (*Matrix, error) {
+	if p.Tasks <= 0 || p.Machines <= 0 {
+		return nil, fmt.Errorf("etc: invalid dimensions %dx%d", p.Tasks, p.Machines)
+	}
+	if p.TaskHet <= 1 || p.MachineHet <= 1 {
+		return nil, fmt.Errorf("etc: heterogeneity bounds must exceed 1 (got task=%g machine=%g)", p.TaskHet, p.MachineHet)
+	}
+	vs := make([][]float64, p.Tasks)
+	for t := range vs {
+		q := src.UniformRange(1, p.TaskHet)
+		row := make([]float64, p.Machines)
+		for m := range row {
+			row[m] = q * src.UniformRange(1, p.MachineHet)
+		}
+		vs[t] = row
+	}
+	return applyConsistency(&Matrix{values: vs}, p.Consistency), nil
+}
+
+// CVBParams configures the coefficient-of-variation-based method of Ali et
+// al.: task execution means are gamma-distributed with mean TaskMean and
+// coefficient of variation TaskCV; each row is then gamma-distributed around
+// its task mean with coefficient of variation MachineCV.
+type CVBParams struct {
+	Tasks, Machines   int
+	TaskMean          float64
+	TaskCV, MachineCV float64
+	Consistency       Consistency
+}
+
+// GenerateCVB builds a matrix with the CVB method. Typical values:
+// TaskMean=1000, CV in {0.1 (low), 0.6 (high)}.
+func GenerateCVB(p CVBParams, src *rng.Source) (*Matrix, error) {
+	if p.Tasks <= 0 || p.Machines <= 0 {
+		return nil, fmt.Errorf("etc: invalid dimensions %dx%d", p.Tasks, p.Machines)
+	}
+	if p.TaskMean <= 0 || p.TaskCV <= 0 || p.MachineCV <= 0 {
+		return nil, fmt.Errorf("etc: CVB parameters must be positive (mean=%g taskCV=%g machineCV=%g)",
+			p.TaskMean, p.TaskCV, p.MachineCV)
+	}
+	// Gamma(alpha, beta): mean = alpha*beta, CV = 1/sqrt(alpha).
+	alphaTask := 1 / (p.TaskCV * p.TaskCV)
+	alphaMachine := 1 / (p.MachineCV * p.MachineCV)
+	vs := make([][]float64, p.Tasks)
+	for t := range vs {
+		taskMean := src.Gamma(alphaTask, p.TaskMean/alphaTask)
+		row := make([]float64, p.Machines)
+		for m := range row {
+			row[m] = src.Gamma(alphaMachine, taskMean/alphaMachine)
+		}
+		vs[t] = row
+	}
+	return applyConsistency(&Matrix{values: vs}, p.Consistency), nil
+}
+
+func applyConsistency(m *Matrix, c Consistency) *Matrix {
+	switch c {
+	case Consistent:
+		return m.MakeConsistent()
+	case SemiConsistent:
+		return m.MakeSemiConsistent()
+	default:
+		return m
+	}
+}
+
+// Class is one of the canonical twelve workload classes: {range, CVB is a
+// separate axis handled by the caller} × {high, low} task heterogeneity ×
+// {high, low} machine heterogeneity × {consistent, semi-consistent,
+// inconsistent}.
+type Class struct {
+	HighTaskHet    bool
+	HighMachineHet bool
+	Consistency    Consistency
+}
+
+// Label returns the conventional short label, e.g. "hihi-c" for
+// high-task/high-machine/consistent.
+func (c Class) Label() string {
+	th, mh := "lo", "lo"
+	if c.HighTaskHet {
+		th = "hi"
+	}
+	if c.HighMachineHet {
+		mh = "hi"
+	}
+	suffix := map[Consistency]string{Consistent: "c", SemiConsistent: "s", Inconsistent: "i"}[c.Consistency]
+	return th + mh + "-" + suffix
+}
+
+// AllClasses returns the twelve canonical classes in a fixed order.
+func AllClasses() []Class {
+	var cs []Class
+	for _, th := range []bool{true, false} {
+		for _, mh := range []bool{true, false} {
+			for _, con := range []Consistency{Consistent, SemiConsistent, Inconsistent} {
+				cs = append(cs, Class{HighTaskHet: th, HighMachineHet: mh, Consistency: con})
+			}
+		}
+	}
+	return cs
+}
+
+// GenerateClass builds a tasks×machines matrix in the given class using the
+// range-based method with the literature's canonical heterogeneity bounds
+// (3000/100 for task, 1000/10 for machine).
+func GenerateClass(c Class, tasks, machines int, src *rng.Source) (*Matrix, error) {
+	p := RangeParams{
+		Tasks:       tasks,
+		Machines:    machines,
+		TaskHet:     100,
+		MachineHet:  10,
+		Consistency: c.Consistency,
+	}
+	if c.HighTaskHet {
+		p.TaskHet = 3000
+	}
+	if c.HighMachineHet {
+		p.MachineHet = 1000
+	}
+	return GenerateRange(p, src)
+}

@@ -1,0 +1,80 @@
+package etc
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the matrix as plain CSV, one row per task, no header.
+func (m *Matrix) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	record := make([]string, m.Machines())
+	for _, row := range m.values {
+		for j, v := range row {
+			record[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("etc: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("etc: write csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a matrix from CSV as written by WriteCSV.
+func ReadCSV(r io.Reader) (*Matrix, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validated by New
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("etc: read csv: %w", err)
+	}
+	vs := make([][]float64, len(records))
+	for t, record := range records {
+		vs[t] = make([]float64, len(record))
+		for j, field := range record {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("etc: read csv row %d col %d: %w", t, j, err)
+			}
+			vs[t][j] = v
+		}
+	}
+	return New(vs)
+}
+
+// jsonMatrix is the stable on-disk JSON representation.
+type jsonMatrix struct {
+	Tasks    int         `json:"tasks"`
+	Machines int         `json:"machines"`
+	Values   [][]float64 `json:"values"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Matrix) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonMatrix{Tasks: m.Tasks(), Machines: m.Machines(), Values: m.values})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, validating the payload.
+func (m *Matrix) UnmarshalJSON(data []byte) error {
+	var jm jsonMatrix
+	if err := json.Unmarshal(data, &jm); err != nil {
+		return fmt.Errorf("etc: unmarshal: %w", err)
+	}
+	parsed, err := New(jm.Values)
+	if err != nil {
+		return err
+	}
+	if jm.Tasks != parsed.Tasks() || jm.Machines != parsed.Machines() {
+		return fmt.Errorf("etc: declared shape %dx%d does not match values %dx%d",
+			jm.Tasks, jm.Machines, parsed.Tasks(), parsed.Machines())
+	}
+	*m = *parsed
+	return nil
+}

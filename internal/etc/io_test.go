@@ -1,0 +1,99 @@
+package etc
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{1.5, 2}, {3, 4.25}, {0.125, 6}})
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !m.Equal(back) {
+		t.Fatalf("round trip mismatch:\n%v\nvs\n%v", m, back)
+	}
+}
+
+func TestCSVRoundTripGenerated(t *testing.T) {
+	m, err := GenerateRange(RangeParams{Tasks: 50, Machines: 12, TaskHet: 3000, MachineHet: 1000}, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Fatal("generated matrix did not survive CSV round trip exactly")
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1,x\n")); err == nil {
+		t.Error("non-numeric field accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Error("ragged CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,-2\n")); err == nil {
+		t.Error("negative ETC accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Matrix
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !m.Equal(&back) {
+		t.Fatal("JSON round trip mismatch")
+	}
+}
+
+func TestJSONShapeFields(t *testing.T) {
+	m := mustMatrix(t, [][]float64{{1, 2, 3}})
+	data, _ := json.Marshal(m)
+	s := string(data)
+	if !strings.Contains(s, `"tasks":1`) || !strings.Contains(s, `"machines":3`) {
+		t.Fatalf("JSON = %s lacks shape fields", s)
+	}
+}
+
+func TestJSONRejectsInconsistentShape(t *testing.T) {
+	var m Matrix
+	if err := json.Unmarshal([]byte(`{"tasks":2,"machines":1,"values":[[1]]}`), &m); err == nil {
+		t.Error("shape-inconsistent JSON accepted")
+	}
+}
+
+func TestJSONRejectsBadValues(t *testing.T) {
+	var m Matrix
+	if err := json.Unmarshal([]byte(`{"tasks":1,"machines":1,"values":[[0]]}`), &m); err == nil {
+		t.Error("zero ETC accepted via JSON")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &m); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

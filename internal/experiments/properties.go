@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/etc"
+	"repro/internal/heuristics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/table"
+	"repro/internal/tiebreak"
+)
+
+// randomWorkload draws a small random instance for the property experiments.
+func randomWorkload(src *rng.Source, maxTasks, maxMachines int) (*sched.Instance, error) {
+	tasks := 2 + src.Intn(maxTasks-1)
+	machines := 2 + src.Intn(maxMachines-1)
+	m, err := etc.GenerateRange(etc.RangeParams{
+		Tasks: tasks, Machines: machines, TaskHet: 100, MachineHet: 10,
+	}, src)
+	if err != nil {
+		return nil, err
+	}
+	return sched.NewInstance(m, nil)
+}
+
+// integerWorkload draws an instance from a small integer grid, where ties
+// are frequent — the regime in which the paper's pathologies appear.
+func integerWorkload(src *rng.Source, maxTasks, maxMachines, maxValue int) (*sched.Instance, error) {
+	tasks := 2 + src.Intn(maxTasks-1)
+	machines := 2 + src.Intn(maxMachines-1)
+	vs := make([][]float64, tasks)
+	for t := range vs {
+		vs[t] = make([]float64, machines)
+		for j := range vs[t] {
+			vs[t][j] = float64(1 + src.Intn(maxValue))
+		}
+	}
+	m, err := etc.New(vs)
+	if err != nil {
+		return nil, err
+	}
+	return sched.NewInstance(m, nil)
+}
+
+// RunGenitorMonotone verifies the paper's Section 3.1 claim: because each
+// iteration's population is seeded with the previous mapping, Genitor's
+// iterative technique yields an improvement or no change, never a worse
+// makespan.
+func RunGenitorMonotone() (*Report, error) {
+	const trials = 12
+	rep := &Report{ID: "E7", Title: "Genitor: seeding makes iterations monotone"}
+	src := rng.New(2007)
+	tb := table.New("Genitor across the iterative technique",
+		"trial", "tasks", "machines", "original makespan", "final makespan", "increased")
+	increases := 0
+	for trial := 0; trial < trials; trial++ {
+		in, err := randomWorkload(src, 14, 5)
+		if err != nil {
+			return nil, err
+		}
+		g := heuristics.NewGenitor(heuristics.GenitorConfig{PopulationSize: 24, Steps: 150}, src.Uint64())
+		tr, err := core.Iterate(in, g, core.Deterministic())
+		if err != nil {
+			return nil, err
+		}
+		if tr.MakespanIncreased() {
+			increases++
+		}
+		tb.AddRow(trial, in.Tasks(), in.Machines(), tr.OriginalMakespan(), tr.FinalMakespan(),
+			fmt.Sprintf("%t", tr.MakespanIncreased()))
+	}
+	rep.Body = tb.String()
+	rep.Checks = append(rep.Checks,
+		check("trials with makespan increase", "0", fmt.Sprintf("%d", increases)),
+	)
+	return rep, nil
+}
+
+// RunTheoremVerification empirically confirms the paper's theorems (Sections
+// 3.2-3.4): with deterministic tie-breaking, Min-Min, MCT and MET produce
+// identical mappings in every iteration — on continuous workloads (ties
+// rare) and on small-integer workloads (ties everywhere).
+func RunTheoremVerification() (*Report, error) {
+	return RunTheoremVerificationSized(150)
+}
+
+// RunTheoremVerificationSized is RunTheoremVerification with a configurable
+// trial count (for tests and benchmarks).
+func RunTheoremVerificationSized(trials int) (*Report, error) {
+	rep := &Report{ID: "E8", Title: "Theorems: Min-Min/MCT/MET invariance under deterministic ties"}
+	src := rng.New(1977)
+	hs := []heuristics.Heuristic{heuristics.MinMin{}, heuristics.MCT{}, heuristics.MET{}}
+	tb := table.New("Deterministic-tie invariance over random workloads",
+		"heuristic", "workload", "trials", "mappings changed", "makespan increases")
+	var b strings.Builder
+	for _, h := range hs {
+		for _, kind := range []string{"continuous", "integer"} {
+			changed, increased := 0, 0
+			for trial := 0; trial < trials; trial++ {
+				var in *sched.Instance
+				var err error
+				if kind == "continuous" {
+					in, err = randomWorkload(src, 16, 6)
+				} else {
+					in, err = integerWorkload(src, 16, 6, 5)
+				}
+				if err != nil {
+					return nil, err
+				}
+				tr, err := core.Iterate(in, h, core.Deterministic())
+				if err != nil {
+					return nil, err
+				}
+				if tr.Changed() {
+					changed++
+				}
+				if tr.MakespanIncreased() {
+					increased++
+				}
+			}
+			tb.AddRow(h.Name(), kind, trials, changed, increased)
+			rep.Checks = append(rep.Checks,
+				check(fmt.Sprintf("%s/%s mappings changed", h.Name(), kind), "0", fmt.Sprintf("%d", changed)),
+				check(fmt.Sprintf("%s/%s makespan increases", h.Name(), kind), "0", fmt.Sprintf("%d", increased)),
+			)
+		}
+	}
+	b.WriteString(tb.String())
+	rep.Body = b.String()
+	return rep, nil
+}
+
+// RunSeededMonotone verifies the paper's concluding proposal: wrapping any
+// heuristic with Genitor-style seeding guarantees the makespan never
+// increases from one iteration to the next, even with random tie-breaking.
+func RunSeededMonotone() (*Report, error) {
+	return RunSeededMonotoneSized(60)
+}
+
+// RunSeededMonotoneSized is RunSeededMonotone with a configurable trial
+// count (for tests and benchmarks).
+func RunSeededMonotoneSized(trials int) (*Report, error) {
+	rep := &Report{ID: "E9", Title: "Seeding any heuristic prevents makespan increase"}
+	src := rng.New(42)
+	tb := table.New("Seeded wrapper under random ties (integer workloads)",
+		"heuristic", "trials", "bare increases", "seeded increases")
+	for _, name := range []string{"met", "mct", "min-min", "sufferage", "kpb", "swa", "olb", "max-min"} {
+		bare, seeded := 0, 0
+		for trial := 0; trial < trials; trial++ {
+			in, err := integerWorkload(src, 12, 5, 4)
+			if err != nil {
+				return nil, err
+			}
+			h, err := heuristics.ByName(name, src.Uint64())
+			if err != nil {
+				return nil, err
+			}
+			polSeed := src.Uint64()
+			trBare, err := core.Iterate(in, h, core.FixedPolicy(tiebreak.NewRandom(rng.New(polSeed))))
+			if err != nil {
+				return nil, err
+			}
+			if trBare.MakespanIncreased() {
+				bare++
+			}
+			trSeeded, err := core.Iterate(in, heuristics.Seeded{Inner: h},
+				core.FixedPolicy(tiebreak.NewRandom(rng.New(polSeed))))
+			if err != nil {
+				return nil, err
+			}
+			if trSeeded.MakespanIncreased() {
+				seeded++
+			}
+		}
+		tb.AddRow(name, trials, bare, seeded)
+		rep.Checks = append(rep.Checks,
+			check(fmt.Sprintf("seeded(%s) makespan increases", name), "0", fmt.Sprintf("%d", seeded)),
+		)
+	}
+	rep.Body = tb.String()
+	return rep, nil
+}

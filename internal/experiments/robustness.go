@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/etc"
+	"repro/internal/heuristics"
+	"repro/internal/rng"
+	"repro/internal/robust"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// RunRobustnessStudy measures what the iterative technique does to the
+// robustness of a mapping, using the research group's robustness-radius
+// metric (Ali et al.): with the tolerance fixed at tau = 1.2 x the original
+// makespan, compare the system robustness metric (minimum per-machine
+// radius) of the original mapping against the combined final mapping. The
+// technique shortens non-makespan machines' completion times, which adds
+// slack — and therefore radius — to exactly the machines it improves.
+func RunRobustnessStudy() (*Report, error) {
+	return RunRobustnessStudySized(40)
+}
+
+// RunRobustnessStudySized is RunRobustnessStudy with a configurable trial
+// count.
+func RunRobustnessStudySized(trials int) (*Report, error) {
+	rep := &Report{ID: "E13", Title: "Effect of the technique on mapping robustness"}
+	src := rng.New(314)
+	const tauFactor = 1.2
+
+	type row struct {
+		name            string
+		deltas          []float64 // final metric - original metric
+		improvedMetric  int
+		worsenedMetric  int
+		theoremInvolved bool
+	}
+	rows := []row{
+		{name: "mct", theoremInvolved: true},
+		{name: "sufferage"},
+		{name: "kpb"},
+		{name: "swa"},
+	}
+
+	for trial := 0; trial < trials; trial++ {
+		m, err := etc.GenerateClass(etc.Class{HighTaskHet: true, Consistency: etc.Inconsistent}, 18, 5, src)
+		if err != nil {
+			return nil, err
+		}
+		in, err := sched.NewInstance(m, nil)
+		if err != nil {
+			return nil, err
+		}
+		for i := range rows {
+			h, err := heuristics.ByName(rows[i].name, src.Uint64())
+			if err != nil {
+				return nil, err
+			}
+			tr, err := core.Iterate(in, h, core.Deterministic())
+			if err != nil {
+				return nil, err
+			}
+			orig, err := tr.Original()
+			if err != nil {
+				return nil, err
+			}
+			final, err := tr.FinalSchedule()
+			if err != nil {
+				return nil, err
+			}
+			tau := robust.TauFactor(orig, tauFactor)
+			rOrig, err := robust.Compute(orig, tau)
+			if err != nil {
+				return nil, err
+			}
+			rFinal, err := robust.Compute(final, tau)
+			if err != nil {
+				return nil, err
+			}
+			delta := rFinal.Metric - rOrig.Metric
+			rows[i].deltas = append(rows[i].deltas, delta)
+			switch {
+			case delta > 1e-9:
+				rows[i].improvedMetric++
+			case delta < -1e-9:
+				rows[i].worsenedMetric++
+			}
+		}
+	}
+
+	tb := table.New(fmt.Sprintf("Robustness metric change under the technique (tau = %.1f x original makespan, %d workloads of 18x5)",
+		tauFactor, trials),
+		"heuristic", "metric delta (mean)", "trials metric up", "trials metric down")
+	for _, r := range rows {
+		s, err := stats.Summarize(r.deltas)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(r.name, fmt.Sprintf("%+.4g ± %.3g", s.Mean, s.ConfidenceInterval95()),
+			r.improvedMetric, r.worsenedMetric)
+		if r.theoremInvolved {
+			rep.Checks = append(rep.Checks, Check{
+				Name: fmt.Sprintf("%s metric unchanged (theorem heuristic)", r.name),
+				Want: "0 up, 0 down",
+				Got:  fmt.Sprintf("%d up, %d down", r.improvedMetric, r.worsenedMetric),
+				OK:   r.improvedMetric == 0 && r.worsenedMetric == 0,
+			})
+		} else {
+			rep.Checks = append(rep.Checks, Check{
+				Name: fmt.Sprintf("%s completed %d trials", r.name, trials),
+				Want: fmt.Sprintf("%d", trials),
+				Got:  fmt.Sprintf("%d", len(r.deltas)),
+				OK:   len(r.deltas) == trials,
+			})
+		}
+	}
+	rep.Body = tb.String()
+	return rep, nil
+}

@@ -1,0 +1,125 @@
+// Package gantt renders schedules as ASCII Gantt charts, reproducing the
+// paper's mapping figures (Figures 3, 4, 6, 7, 9-12, 15, 16, 18, 19) in a
+// terminal-friendly form.
+//
+// Each machine is one row; each assigned task is a labelled box whose width
+// is proportional to its ETC on that machine. Tasks are drawn in task-index
+// order (the model's per-machine completion time does not depend on
+// intra-machine order).
+package gantt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/sched"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Width is the number of character cells representing the makespan
+	// (default 60).
+	Width int
+	// MachineLabel returns the row label for a machine (default "m<i>").
+	MachineLabel func(m int) string
+	// TaskLabel returns the in-box label for a task (default "t<i>").
+	TaskLabel func(t int) string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 60
+	}
+	if o.MachineLabel == nil {
+		o.MachineLabel = func(m int) string { return fmt.Sprintf("m%d", m) }
+	}
+	if o.TaskLabel == nil {
+		o.TaskLabel = func(t int) string { return fmt.Sprintf("t%d", t) }
+	}
+	return o
+}
+
+// Render draws the schedule. Machines with an initial ready time show a
+// leading "=" region; each task occupies a proportional "[label---]" box.
+func Render(s *sched.Schedule, opts Options) string {
+	o := opts.withDefaults()
+	ms := s.Makespan()
+	if ms <= 0 {
+		ms = 1
+	}
+	scale := float64(o.Width) / ms
+
+	var b strings.Builder
+	labelWidth := 0
+	for m := range s.Completion {
+		if l := len(o.MachineLabel(m)); l > labelWidth {
+			labelWidth = l
+		}
+	}
+	for m := range s.Completion {
+		fmt.Fprintf(&b, "%-*s |", labelWidth, o.MachineLabel(m))
+		pos := 0.0
+		cells := 0
+		if r := s.Instance.Ready(m); r > 0 {
+			n := cellSpan(r, scale, cells)
+			b.WriteString(strings.Repeat("=", n))
+			cells += n
+			pos = r
+		}
+		for _, t := range s.Mapping.TasksOn(m) {
+			d := s.Instance.ETC().At(t, m)
+			n := cellSpan(pos+d, scale, cells)
+			b.WriteString(box(o.TaskLabel(t), n))
+			cells += n
+			pos += d
+		}
+		fmt.Fprintf(&b, "| CT=%.4g\n", s.Completion[m])
+	}
+	b.WriteString(axis(labelWidth, o.Width, ms))
+	return b.String()
+}
+
+// cellSpan returns how many cells extend the row to time `to`, rounding the
+// right edge so adjacent boxes tile without gaps.
+func cellSpan(to, scale float64, usedCells int) int {
+	n := int(math.Round(to*scale)) - usedCells
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// box renders a task label padded with '-' inside [ ], degrading gracefully
+// when the box is narrower than the label.
+func box(label string, width int) string {
+	switch {
+	case width <= 0:
+		return ""
+	case width == 1:
+		return "|"
+	case width == 2:
+		return "[]"
+	}
+	inner := width - 2
+	if len(label) > inner {
+		label = label[:inner]
+	}
+	return "[" + label + strings.Repeat("-", inner-len(label)) + "]"
+}
+
+// axis draws a time axis under the chart with the makespan at the right.
+func axis(labelWidth, width int, makespan float64) string {
+	var b strings.Builder
+	b.WriteString(strings.Repeat(" ", labelWidth+2))
+	b.WriteString("0")
+	tail := fmt.Sprintf("%.4g", makespan)
+	pad := width - 1 - len(tail)
+	if pad < 1 {
+		pad = 1
+	}
+	b.WriteString(strings.Repeat(".", pad))
+	b.WriteString(tail)
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/etc"
+	"repro/internal/sched"
+)
+
+func schedule(t *testing.T, vs [][]float64, ready []float64, assign []int) *sched.Schedule {
+	t.Helper()
+	in, err := sched.NewInstance(etc.MustNew(vs), ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.Evaluate(in, sched.Mapping{Assign: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRenderBasics(t *testing.T) {
+	s := schedule(t, [][]float64{{4, 9}, {9, 2}}, nil, []int{0, 1})
+	out := Render(s, Options{Width: 40})
+	if !strings.Contains(out, "m0") || !strings.Contains(out, "m1") {
+		t.Fatalf("missing machine rows:\n%s", out)
+	}
+	if !strings.Contains(out, "t0") {
+		t.Fatalf("missing task label:\n%s", out)
+	}
+	if !strings.Contains(out, "CT=4") || !strings.Contains(out, "CT=2") {
+		t.Fatalf("missing completion annotations:\n%s", out)
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, "4") {
+		t.Fatalf("missing axis:\n%s", out)
+	}
+}
+
+func TestRenderProportionalWidths(t *testing.T) {
+	// Task 0 (ETC 30) should occupy about three times the cells of task 1
+	// (ETC 10) on the same machine.
+	s := schedule(t, [][]float64{{30}, {10}}, nil, []int{0, 0})
+	out := Render(s, Options{Width: 40})
+	row := strings.Split(out, "\n")[0]
+	t0 := strings.Index(row, "t1") - strings.Index(row, "t0")
+	if t0 < 25 || t0 > 35 {
+		t.Fatalf("t0 box spans %d cells, want about 30:\n%s", t0, out)
+	}
+}
+
+func TestRenderReadyTimePrefix(t *testing.T) {
+	s := schedule(t, [][]float64{{5}}, []float64{5}, []int{0})
+	out := Render(s, Options{Width: 20})
+	if !strings.Contains(out, "==") {
+		t.Fatalf("initial ready time not drawn:\n%s", out)
+	}
+}
+
+func TestRenderCustomLabels(t *testing.T) {
+	s := schedule(t, [][]float64{{2}}, nil, []int{0})
+	out := Render(s, Options{
+		Width:        20,
+		MachineLabel: func(m int) string { return "node-A" },
+		TaskLabel:    func(t int) string { return "job" },
+	})
+	if !strings.Contains(out, "node-A") || !strings.Contains(out, "job") {
+		t.Fatalf("custom labels ignored:\n%s", out)
+	}
+}
+
+func TestRenderTinyBoxes(t *testing.T) {
+	// Many tiny tasks must not panic or produce negative repeats.
+	vs := make([][]float64, 30)
+	assign := make([]int, 30)
+	for i := range vs {
+		vs[i] = []float64{0.5}
+	}
+	s := schedule(t, vs, nil, assign)
+	out := Render(s, Options{Width: 10})
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestBoxDegradation(t *testing.T) {
+	if box("t0", 0) != "" {
+		t.Error("width 0")
+	}
+	if box("t0", 1) != "|" {
+		t.Error("width 1")
+	}
+	if box("t0", 2) != "[]" {
+		t.Error("width 2")
+	}
+	if got := box("t0", 6); got != "[t0--]" {
+		t.Errorf("width 6 = %q", got)
+	}
+	if got := box("verylong", 4); got != "[ve]" {
+		t.Errorf("truncation = %q", got)
+	}
+}
+
+func TestRenderRowsEndAligned(t *testing.T) {
+	// Machines with equal completion times must produce equal-width bars.
+	s := schedule(t, [][]float64{{6, 9}, {9, 6}}, nil, []int{0, 1})
+	lines := strings.Split(Render(s, Options{Width: 30}), "\n")
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatalf("rows differ in length:\n%s\n%s", lines[0], lines[1])
+	}
+}

@@ -1,0 +1,241 @@
+package heuristics
+
+import (
+	"math"
+
+	"repro/internal/sched"
+	"repro/internal/tiebreak"
+)
+
+// pairKey encodes a (task, machine) pair as a single canonical integer so a
+// tie over pairs can be presented to a tiebreak.Policy in ascending
+// task-major order and decoded after the choice.
+func pairKey(task, machine, machines int) int { return task*machines + machine }
+
+func pairFromKey(key, machines int) (task, machine int) { return key / machines, key % machines }
+
+// MinMin is the two-phase greedy of Ibarra and Kim (paper Figure 2): for
+// each unmapped task find its minimum-completion machine (first Min), then
+// commit the task-machine pair with the overall minimum completion time
+// (second Min). Both phases' ties are delegated to the policy as a single
+// choice over the tied pairs.
+type MinMin struct{}
+
+// Name implements Heuristic.
+func (MinMin) Name() string { return "min-min" }
+
+// Map implements Heuristic.
+func (MinMin) Map(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+	return greedyTwoPhase(in, tb, false)
+}
+
+// MaxMin is the companion heuristic: first phase identical, second phase
+// commits the pair whose per-task minimum completion time is *largest*,
+// scheduling long tasks early.
+type MaxMin struct{}
+
+// Name implements Heuristic.
+func (MaxMin) Name() string { return "max-min" }
+
+// Map implements Heuristic.
+func (MaxMin) Map(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+	return greedyTwoPhase(in, tb, true)
+}
+
+// greedyTwoPhase implements Min-Min (useMax=false) and Max-Min (useMax=true).
+func greedyTwoPhase(in *sched.Instance, tb tiebreak.Policy, useMax bool) (sched.Mapping, error) {
+	nT, nM := in.Tasks(), in.Machines()
+	mp := sched.NewMapping(nT)
+	ready := in.ReadyTimes()
+	unmapped := make([]bool, nT)
+	for i := range unmapped {
+		unmapped[i] = true
+	}
+	ct := make([]float64, nM)
+	bestCT := make([]float64, nT) // per-task minimum completion time
+	for remaining := nT; remaining > 0; remaining-- {
+		// Phase 1: per-task minimum completion time.
+		target := math.Inf(1)
+		if useMax {
+			target = math.Inf(-1)
+		}
+		for t := 0; t < nT; t++ {
+			if !unmapped[t] {
+				continue
+			}
+			completionRow(in, t, ready, ct)
+			mn := ct[0]
+			for _, v := range ct[1:] {
+				if v < mn {
+					mn = v
+				}
+			}
+			bestCT[t] = mn
+			if useMax {
+				target = math.Max(target, mn)
+			} else {
+				target = math.Min(target, mn)
+			}
+		}
+		// Phase 2: gather every tied (task, machine) pair achieving target.
+		var cands []int
+		for t := 0; t < nT; t++ {
+			if !unmapped[t] || !approxEqual(bestCT[t], target) {
+				continue
+			}
+			completionRow(in, t, ready, ct)
+			for m := 0; m < nM; m++ {
+				if approxEqual(ct[m], bestCT[t]) {
+					cands = append(cands, pairKey(t, m, nM))
+				}
+			}
+		}
+		key := tb.Choose(cands)
+		t, m := pairFromKey(key, nM)
+		mp.Assign[t] = m
+		unmapped[t] = false
+		ready[m] += in.ETC().At(t, m)
+	}
+	return mp, nil
+}
+
+// Duplex runs Min-Min and Max-Min on the same instance and returns whichever
+// mapping has the smaller makespan, preferring Min-Min on a tie.
+type Duplex struct{}
+
+// Name implements Heuristic.
+func (Duplex) Name() string { return "duplex" }
+
+// Map implements Heuristic.
+func (Duplex) Map(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+	mn, err := (MinMin{}).Map(in, tb)
+	if err != nil {
+		return sched.Mapping{}, err
+	}
+	mx, err := (MaxMin{}).Map(in, tb)
+	if err != nil {
+		return sched.Mapping{}, err
+	}
+	smn, err := sched.Evaluate(in, mn)
+	if err != nil {
+		return sched.Mapping{}, err
+	}
+	smx, err := sched.Evaluate(in, mx)
+	if err != nil {
+		return sched.Mapping{}, err
+	}
+	if smx.Makespan() < smn.Makespan() {
+		return mx, nil
+	}
+	return mn, nil
+}
+
+// Sufferage (paper Figure 17, after Maheswaran et al. and Casanova et al.)
+// assigns machines in passes: within a pass each task claims its
+// earliest-completion machine, and competing claims are resolved in favour
+// of the task that would suffer most from losing the machine (sufferage =
+// second-earliest CT minus earliest CT). Displaced tasks return to the list
+// for the next pass; ready times update only between passes.
+type Sufferage struct{}
+
+// Name implements Heuristic.
+func (Sufferage) Name() string { return "sufferage" }
+
+// SufferageDecision records one task's examination within a pass, for
+// reproducing the paper's per-pass tables.
+type SufferageDecision struct {
+	Task      int
+	MinCT     float64
+	Sufferage float64
+	Machine   int
+	// Outcome: "assigned" (took an unassigned machine), "displaced" (bumped
+	// the previous holder), or "rejected" (lost to the current holder).
+	Outcome string
+}
+
+// SufferagePass is the decision list of one pass.
+type SufferagePass struct {
+	Decisions []SufferageDecision
+}
+
+// Map implements Heuristic.
+func (s Sufferage) Map(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+	mp, _, err := s.MapTrace(in, tb)
+	return mp, err
+}
+
+// MapTrace is Map returning the per-pass decision trace.
+func (Sufferage) MapTrace(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, []SufferagePass, error) {
+	nT, nM := in.Tasks(), in.Machines()
+	mp := sched.NewMapping(nT)
+	ready := in.ReadyTimes()
+	inList := make([]bool, nT)
+	for i := range inList {
+		inList[i] = true
+	}
+	remaining := nT
+	ct := make([]float64, nM)
+	var passes []SufferagePass
+	for remaining > 0 {
+		holder := make([]int, nM) // task tentatively holding each machine, -1 if none
+		sufferageOf := make([]float64, nT)
+		for m := range holder {
+			holder[m] = -1
+		}
+		var pass SufferagePass
+		// Snapshot of the list at pass start, ascending task order.
+		for t := 0; t < nT; t++ {
+			if !inList[t] {
+				continue
+			}
+			completionRow(in, t, ready, ct)
+			m := tb.Choose(minIndices(ct))
+			suff := sufferageValue(ct)
+			sufferageOf[t] = suff
+			d := SufferageDecision{Task: t, MinCT: ct[m], Sufferage: suff, Machine: m}
+			switch prev := holder[m]; {
+			case prev == -1:
+				holder[m] = t
+				inList[t] = false
+				d.Outcome = "assigned"
+			case sufferageOf[prev] < suff:
+				// Displace the weaker claim; it returns to the list.
+				inList[prev] = true
+				holder[m] = t
+				inList[t] = false
+				d.Outcome = "displaced"
+			default:
+				d.Outcome = "rejected"
+			}
+			pass.Decisions = append(pass.Decisions, d)
+		}
+		// Commit the pass: update ready times for all tentative holders.
+		for m, t := range holder {
+			if t >= 0 {
+				mp.Assign[t] = m
+				ready[m] += in.ETC().At(t, m)
+				remaining--
+			}
+		}
+		passes = append(passes, pass)
+	}
+	return mp, passes, nil
+}
+
+// sufferageValue returns second-earliest minus earliest completion time, or
+// 0 when only one machine exists.
+func sufferageValue(ct []float64) float64 {
+	if len(ct) == 1 {
+		return 0
+	}
+	first, second := math.Inf(1), math.Inf(1)
+	for _, v := range ct {
+		switch {
+		case v < first:
+			first, second = v, first
+		case v < second:
+			second = v
+		}
+	}
+	return second - first
+}

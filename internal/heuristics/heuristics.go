@@ -1,0 +1,144 @@
+// Package heuristics implements the resource-allocation heuristics studied
+// by the paper — Minimum Execution Time (MET), Minimum Completion Time
+// (MCT), Min-Min, Sufferage, K-Percent Best, the Switching Algorithm (SWA)
+// and Genitor — together with the standard companion baselines from the
+// literature the paper builds on (OLB, Max-Min, Duplex) and the generic
+// seeding wrapper the paper's conclusion proposes.
+//
+// Every heuristic maps a sched.Instance to a complete sched.Mapping,
+// resolving ties through an explicit tiebreak.Policy; ties are the paper's
+// central mechanism, so no heuristic is allowed a hidden tie rule.
+package heuristics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sched"
+	"repro/internal/tiebreak"
+)
+
+// Epsilon is the absolute tolerance used when comparing completion times for
+// equality. The paper's examples use small exact values; the tolerance only
+// matters for generated float workloads, where exact ties are measure-zero
+// but accumulated arithmetic can produce near-ties that should be treated as
+// the same value.
+const Epsilon = 1e-9
+
+// approxEqual reports whether a and b are equal within Epsilon.
+func approxEqual(a, b float64) bool {
+	return math.Abs(a-b) <= Epsilon
+}
+
+// Heuristic maps all tasks of an instance onto its machines.
+type Heuristic interface {
+	// Name is a stable identifier, e.g. "min-min".
+	Name() string
+	// Map computes a complete mapping. Implementations must not mutate the
+	// instance and must resolve every choice among equally good candidates
+	// through tb.
+	Map(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error)
+}
+
+// Seedable is a Heuristic that can incorporate a previously found mapping,
+// guaranteeing the result is never worse (in makespan) than the seed. The
+// paper's Genitor implements this natively; Seeded adapts any Heuristic.
+type Seedable interface {
+	Heuristic
+	// MapSeeded is Map with a starting solution. The returned mapping's
+	// makespan is at most the seed's.
+	MapSeeded(in *sched.Instance, tb tiebreak.Policy, seed sched.Mapping) (sched.Mapping, error)
+}
+
+// minIndices returns the indices of vals within Epsilon of the minimum, in
+// ascending order. It returns nil for an empty slice.
+func minIndices(vals []float64) []int {
+	if len(vals) == 0 {
+		return nil
+	}
+	mn := vals[0]
+	for _, v := range vals[1:] {
+		if v < mn {
+			mn = v
+		}
+	}
+	var idx []int
+	for i, v := range vals {
+		if approxEqual(v, mn) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// maxIndices is minIndices for the maximum.
+func maxIndices(vals []float64) []int {
+	if len(vals) == 0 {
+		return nil
+	}
+	mx := vals[0]
+	for _, v := range vals[1:] {
+		if v > mx {
+			mx = v
+		}
+	}
+	var idx []int
+	for i, v := range vals {
+		if approxEqual(v, mx) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// completionRow returns CT(t, m) = ETC(t, m) + ready[m] for every machine.
+func completionRow(in *sched.Instance, task int, ready []float64, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, in.Machines())
+	}
+	for m := range dst {
+		dst[m] = in.ETC().At(task, m) + ready[m]
+	}
+	return dst
+}
+
+// Registry lists every heuristic constructible by name, for the CLIs and
+// sweep harness. Stochastic heuristics (Genitor) receive the given seed.
+func Registry(seed uint64) map[string]func() Heuristic {
+	return map[string]func() Heuristic{
+		"olb":       func() Heuristic { return OLB{} },
+		"met":       func() Heuristic { return MET{} },
+		"mct":       func() Heuristic { return MCT{} },
+		"min-min":   func() Heuristic { return MinMin{} },
+		"max-min":   func() Heuristic { return MaxMin{} },
+		"duplex":    func() Heuristic { return Duplex{} },
+		"sufferage": func() Heuristic { return Sufferage{} },
+		"kpb":       func() Heuristic { return KPercentBest{Percent: 70} }, // the paper's example k
+		"swa":       func() Heuristic { return SWA{Low: 0.33, High: 0.49} },
+		"genitor":   func() Heuristic { return NewGenitor(GenitorConfig{}, seed) },
+		"ga":        func() Heuristic { return NewGeneticAlgorithm(GAConfig{}, seed) },
+		"sa":        func() Heuristic { return NewSimulatedAnnealing(SAConfig{}, seed) },
+		"tabu":      func() Heuristic { return NewTabuSearch(TabuConfig{}, seed) },
+	}
+}
+
+// Names returns the registry's heuristic names in sorted order.
+func Names() []string {
+	reg := Registry(0)
+	names := make([]string, 0, len(reg))
+	for n := range reg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName constructs the named heuristic or returns an error listing the
+// available names.
+func ByName(name string, seed uint64) (Heuristic, error) {
+	if f, ok := Registry(seed)[name]; ok {
+		return f(), nil
+	}
+	return nil, fmt.Errorf("heuristics: unknown heuristic %q (available: %v)", name, Names())
+}

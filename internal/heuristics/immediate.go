@@ -1,0 +1,222 @@
+package heuristics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sched"
+	"repro/internal/tiebreak"
+)
+
+// OLB is Opportunistic Load Balancing: each task, in list order, goes to the
+// machine that becomes ready soonest, ignoring the task's ETC. It is the
+// classic "keep all machines busy" baseline from Braun et al.
+type OLB struct{}
+
+// Name implements Heuristic.
+func (OLB) Name() string { return "olb" }
+
+// Map implements Heuristic.
+func (OLB) Map(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+	mp := sched.NewMapping(in.Tasks())
+	ready := in.ReadyTimes()
+	for t := 0; t < in.Tasks(); t++ {
+		m := tb.Choose(minIndices(ready))
+		mp.Assign[t] = m
+		ready[m] += in.ETC().At(t, m)
+	}
+	return mp, nil
+}
+
+// MET is Minimum Execution Time (paper Figure 8): each task, in list order,
+// goes to the machine with its smallest ETC, regardless of machine load.
+type MET struct{}
+
+// Name implements Heuristic.
+func (MET) Name() string { return "met" }
+
+// Map implements Heuristic.
+func (MET) Map(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+	mp := sched.NewMapping(in.Tasks())
+	for t := 0; t < in.Tasks(); t++ {
+		mp.Assign[t] = tb.Choose(minIndices(in.ETC().Row(t)))
+	}
+	return mp, nil
+}
+
+// MCT is Minimum Completion Time (paper Figure 5): each task, in list order,
+// goes to the machine with the smallest completion time CT = ETC + ready.
+type MCT struct{}
+
+// Name implements Heuristic.
+func (MCT) Name() string { return "mct" }
+
+// Map implements Heuristic.
+func (MCT) Map(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+	mp := sched.NewMapping(in.Tasks())
+	ready := in.ReadyTimes()
+	ct := make([]float64, in.Machines())
+	for t := 0; t < in.Tasks(); t++ {
+		completionRow(in, t, ready, ct)
+		m := tb.Choose(minIndices(ct))
+		mp.Assign[t] = m
+		ready[m] += in.ETC().At(t, m)
+	}
+	return mp, nil
+}
+
+// KPercentBest (paper Figure 14) restricts each task's choice to its
+// floor(M*k/100) best machines by execution time (at least one), then picks
+// the earliest completion within that subset. With k small enough that the
+// subset is a single machine it degenerates to MET; with k=100 it is MCT —
+// the degeneration the paper's example exploits when the iterative technique
+// shrinks the machine pool.
+type KPercentBest struct {
+	// Percent is k in (0, 100].
+	Percent float64
+}
+
+// Name implements Heuristic.
+func (k KPercentBest) Name() string { return fmt.Sprintf("kpb-%g", k.Percent) }
+
+// SubsetSize returns the machine-subset size for machines available
+// machines: floor(machines*k/100), at least 1.
+func (k KPercentBest) SubsetSize(machines int) int {
+	n := int(float64(machines) * k.Percent / 100)
+	if n < 1 {
+		n = 1
+	}
+	if n > machines {
+		n = machines
+	}
+	return n
+}
+
+// Map implements Heuristic.
+func (k KPercentBest) Map(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+	if k.Percent <= 0 || k.Percent > 100 {
+		return sched.Mapping{}, fmt.Errorf("heuristics: k-percent best with percent=%g outside (0,100]", k.Percent)
+	}
+	mp := sched.NewMapping(in.Tasks())
+	ready := in.ReadyTimes()
+	size := k.SubsetSize(in.Machines())
+	for t := 0; t < in.Tasks(); t++ {
+		subset := k.bestSubset(in, t, size)
+		// Earliest completion within the subset.
+		cts := make([]float64, len(subset))
+		for i, m := range subset {
+			cts[i] = in.ETC().At(t, m) + ready[m]
+		}
+		var cands []int
+		for _, i := range minIndices(cts) {
+			cands = append(cands, subset[i])
+		}
+		m := tb.Choose(cands)
+		mp.Assign[t] = m
+		ready[m] += in.ETC().At(t, m)
+	}
+	return mp, nil
+}
+
+// bestSubset returns the size machines with the smallest ETC for task t, in
+// ascending machine-index order. Equal ETC values at the boundary resolve
+// toward the lower machine index, keeping the subset deterministic.
+func (k KPercentBest) bestSubset(in *sched.Instance, t, size int) []int {
+	type cand struct {
+		m   int
+		etc float64
+	}
+	cands := make([]cand, in.Machines())
+	for m := range cands {
+		cands[m] = cand{m, in.ETC().At(t, m)}
+	}
+	// Stable selection: sort by (etc, machine index).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && (cands[j].etc < cands[j-1].etc ||
+			(cands[j].etc == cands[j-1].etc && cands[j].m < cands[j-1].m)); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	subset := make([]int, size)
+	for i := 0; i < size; i++ {
+		subset[i] = cands[i].m
+	}
+	// Ascending machine order for canonical tie presentation.
+	for i := 1; i < len(subset); i++ {
+		for j := i; j > 0 && subset[j] < subset[j-1]; j-- {
+			subset[j], subset[j-1] = subset[j-1], subset[j]
+		}
+	}
+	return subset
+}
+
+// SWA is the Switching Algorithm (paper Figure 13), a hybrid of MCT and MET
+// driven by the load-balance index BI = min ready / max ready. The first
+// task is mapped with MCT; thereafter, BI > High switches to MET (letting
+// load skew grow from the balanced state) and BI < Low switches back to MCT.
+type SWA struct {
+	// Low and High are the switching thresholds, 0 <= Low < High <= 1. The
+	// paper's example uses High = 0.49; the OCR lost its Low, and any value
+	// in (4/13, 1/3] reproduces the example traces — this repo uses 0.33.
+	Low, High float64
+}
+
+// Name implements Heuristic.
+func (s SWA) Name() string { return fmt.Sprintf("swa-%g-%g", s.Low, s.High) }
+
+// SWAStep records one mapping decision for trace reproduction: which
+// sub-heuristic mapped the task and the balance index before the decision.
+type SWAStep struct {
+	Task      int
+	Machine   int
+	Heuristic string  // "mct" or "met"
+	BI        float64 // balance index observed before mapping this task; NaN for the first task
+	Ready     []float64
+}
+
+// Map implements Heuristic.
+func (s SWA) Map(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+	mp, _, err := s.MapTrace(in, tb)
+	return mp, err
+}
+
+// MapTrace is Map returning the per-task decision trace (paper Tables 10
+// and 11 print it).
+func (s SWA) MapTrace(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, []SWAStep, error) {
+	if !(s.Low >= 0 && s.Low < s.High && s.High <= 1) {
+		return sched.Mapping{}, nil, fmt.Errorf("heuristics: SWA thresholds low=%g high=%g invalid", s.Low, s.High)
+	}
+	mp := sched.NewMapping(in.Tasks())
+	ready := in.ReadyTimes()
+	ct := make([]float64, in.Machines())
+	useMET := false // step 2: the first task is mapped using MCT
+	steps := make([]SWAStep, 0, in.Tasks())
+	for t := 0; t < in.Tasks(); t++ {
+		bi := math.NaN() // first task: BI not consulted (paper prints "x")
+		if t > 0 {
+			bi = sched.BalanceIndex(ready)
+			switch {
+			case bi > s.High:
+				useMET = true
+			case bi < s.Low:
+				useMET = false
+			}
+		}
+		var m int
+		var used string
+		if t > 0 && useMET {
+			m = tb.Choose(minIndices(in.ETC().Row(t)))
+			used = "met"
+		} else {
+			completionRow(in, t, ready, ct)
+			m = tb.Choose(minIndices(ct))
+			used = "mct"
+		}
+		mp.Assign[t] = m
+		ready[m] += in.ETC().At(t, m)
+		snapshot := make([]float64, len(ready))
+		copy(snapshot, ready)
+		steps = append(steps, SWAStep{Task: t, Machine: m, Heuristic: used, BI: bi, Ready: snapshot})
+	}
+	return mp, steps, nil
+}

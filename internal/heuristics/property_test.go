@@ -1,0 +1,251 @@
+package heuristics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/etc"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/tiebreak"
+)
+
+// Property-based suites (testing/quick) for the heuristics' structural
+// invariants. Each property draws a random instance from the quick-supplied
+// seed, so failures print a reproducible seed.
+
+func quickInstance(seed uint64, maxTasks, maxMachines int) (*sched.Instance, error) {
+	src := rng.New(seed)
+	m, err := etc.GenerateRange(etc.RangeParams{
+		Tasks:      1 + src.Intn(maxTasks),
+		Machines:   1 + src.Intn(maxMachines),
+		TaskHet:    100,
+		MachineHet: 10,
+	}, src)
+	if err != nil {
+		return nil, err
+	}
+	return sched.NewInstance(m, nil)
+}
+
+func quickCfg() *quick.Config { return &quick.Config{MaxCount: 120} }
+
+// Every heuristic always produces a complete, in-range mapping.
+func TestPropertyAllHeuristicsProduceValidMappings(t *testing.T) {
+	f := func(seed uint64) bool {
+		in, err := quickInstance(seed, 16, 6)
+		if err != nil {
+			return false
+		}
+		for _, name := range Names() {
+			h, err := ByName(name, seed)
+			if err != nil {
+				return false
+			}
+			mp, err := h.Map(in, tiebreak.First{})
+			if err != nil || mp.Validate(in) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25} // 13 heuristics per case
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// KPB at 100% is exactly MCT and KPB at 100/M% is exactly MET.
+func TestPropertyKPBDegenerations(t *testing.T) {
+	f := func(seed uint64) bool {
+		in, err := quickInstance(seed, 14, 5)
+		if err != nil {
+			return false
+		}
+		full, err := (KPercentBest{Percent: 100}).Map(in, tiebreak.First{})
+		if err != nil {
+			return false
+		}
+		mct, err := (MCT{}).Map(in, tiebreak.First{})
+		if err != nil {
+			return false
+		}
+		if !full.Equal(mct) {
+			return false
+		}
+		single, err := (KPercentBest{Percent: 100.0 / float64(in.Machines())}).Map(in, tiebreak.First{})
+		if err != nil {
+			return false
+		}
+		met, err := (MET{}).Map(in, tiebreak.First{})
+		if err != nil {
+			return false
+		}
+		return single.Equal(met)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Duplex's makespan equals the better of Min-Min's and Max-Min's.
+func TestPropertyDuplexIsMinOfBoth(t *testing.T) {
+	f := func(seed uint64) bool {
+		in, err := quickInstance(seed, 14, 5)
+		if err != nil {
+			return false
+		}
+		makespan := func(h Heuristic) (float64, bool) {
+			mp, err := h.Map(in, tiebreak.First{})
+			if err != nil {
+				return 0, false
+			}
+			s, err := sched.Evaluate(in, mp)
+			if err != nil {
+				return 0, false
+			}
+			return s.Makespan(), true
+		}
+		d, ok := makespan(Duplex{})
+		if !ok {
+			return false
+		}
+		mn, ok := makespan(MinMin{})
+		if !ok {
+			return false
+		}
+		mx, ok := makespan(MaxMin{})
+		if !ok {
+			return false
+		}
+		want := mn
+		if mx < want {
+			want = mx
+		}
+		return d == want
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Uniformly scaling every ETC entry preserves the mapping of the greedy
+// heuristics (their comparisons are scale-invariant) and scales the makespan.
+func TestPropertyScaleInvariance(t *testing.T) {
+	hs := []Heuristic{MET{}, MCT{}, MinMin{}, MaxMin{}, Sufferage{}, KPercentBest{Percent: 70}, OLB{}}
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		in, err := quickInstance(seed, 12, 5)
+		if err != nil {
+			return false
+		}
+		scale := 0.5 + 4*src.Float64()
+		vs := in.ETC().Values()
+		for _, row := range vs {
+			for j := range row {
+				row[j] *= scale
+			}
+		}
+		scaledM, err := etc.New(vs)
+		if err != nil {
+			return false
+		}
+		scaled, err := sched.NewInstance(scaledM, nil)
+		if err != nil {
+			return false
+		}
+		for _, h := range hs {
+			a, err := h.Map(in, tiebreak.First{})
+			if err != nil {
+				return false
+			}
+			b, err := h.Map(scaled, tiebreak.First{})
+			if err != nil {
+				return false
+			}
+			if !a.Equal(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Shifting every machine's initial ready time by the same constant preserves
+// the ready-time-aware heuristics' mappings (argmin of ct+c is argmin of ct).
+func TestPropertyReadyShiftInvariance(t *testing.T) {
+	hs := []Heuristic{MCT{}, MinMin{}, MaxMin{}, Sufferage{}, OLB{}, KPercentBest{Percent: 70}}
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		in, err := quickInstance(seed, 12, 4)
+		if err != nil {
+			return false
+		}
+		shift := 10 * src.Float64()
+		ready := make([]float64, in.Machines())
+		for i := range ready {
+			ready[i] = shift
+		}
+		shifted, err := sched.NewInstance(in.ETC(), ready)
+		if err != nil {
+			return false
+		}
+		for _, h := range hs {
+			a, err := h.Map(in, tiebreak.First{})
+			if err != nil {
+				return false
+			}
+			b, err := h.Map(shifted, tiebreak.First{})
+			if err != nil {
+				return false
+			}
+			if !a.Equal(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A heuristic's mapped makespan is reproducible: two runs with identical
+// seeds and policies agree, for every registry heuristic.
+func TestPropertyReproducibility(t *testing.T) {
+	f := func(seed uint64) bool {
+		in, err := quickInstance(seed, 10, 4)
+		if err != nil {
+			return false
+		}
+		for _, name := range Names() {
+			h1, err := ByName(name, seed)
+			if err != nil {
+				return false
+			}
+			h2, err := ByName(name, seed)
+			if err != nil {
+				return false
+			}
+			a, err := h1.Map(in, tiebreak.First{})
+			if err != nil {
+				return false
+			}
+			b, err := h2.Map(in, tiebreak.First{})
+			if err != nil {
+				return false
+			}
+			if !a.Equal(b) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 10}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package report serialises experiment and study results to stable JSON
+// records, so reproduction runs can be archived, diffed across versions, and
+// consumed by external tooling. Records carry no timestamps or host
+// information: two runs of the same code and seeds produce byte-identical
+// files.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// CheckRecord is one verified quantity.
+type CheckRecord struct {
+	Name  string `json:"name"`
+	Paper string `json:"paper"`
+	Got   string `json:"got"`
+	OK    bool   `json:"ok"`
+}
+
+// ExperimentRecord is one experiment's archived outcome.
+type ExperimentRecord struct {
+	ID        string        `json:"id"`
+	Title     string        `json:"title"`
+	Artifacts string        `json:"artifacts,omitempty"`
+	Passed    bool          `json:"passed"`
+	Checks    []CheckRecord `json:"checks"`
+	// Body is the rendered tables/figures; omitted in compact mode.
+	Body string `json:"body,omitempty"`
+}
+
+// FromExperiment converts a report. artifacts may be empty; includeBody
+// controls whether the rendered text is embedded.
+func FromExperiment(rep *experiments.Report, artifacts string, includeBody bool) ExperimentRecord {
+	rec := ExperimentRecord{
+		ID:        rep.ID,
+		Title:     rep.Title,
+		Artifacts: artifacts,
+		Passed:    len(rep.Failed()) == 0,
+	}
+	for _, c := range rep.Checks {
+		rec.Checks = append(rec.Checks, CheckRecord{Name: c.Name, Paper: c.Want, Got: c.Got, OK: c.OK})
+	}
+	if includeBody {
+		rec.Body = rep.Body
+	}
+	return rec
+}
+
+// ProportionRecord is a binomial proportion with its Wilson interval.
+type ProportionRecord struct {
+	Successes int     `json:"successes"`
+	N         int     `json:"n"`
+	Value     float64 `json:"value"`
+	WilsonLo  float64 `json:"wilson95_lo"`
+	WilsonHi  float64 `json:"wilson95_hi"`
+}
+
+// SummaryRecord is a sample summary.
+type SummaryRecord struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	CI95   float64 `json:"ci95_halfwidth"`
+}
+
+// StudyRecord is one Monte Carlo cell's archived outcome.
+type StudyRecord struct {
+	Cell              string           `json:"cell"`
+	Heuristic         string           `json:"heuristic"`
+	Seeded            bool             `json:"seeded"`
+	RandomTies        bool             `json:"random_ties"`
+	Workload          string           `json:"workload"`
+	Tasks             int              `json:"tasks"`
+	Machines          int              `json:"machines"`
+	Trials            int              `json:"trials"`
+	Seed              uint64           `json:"seed"`
+	Changed           ProportionRecord `json:"changed"`
+	MakespanIncreased ProportionRecord `json:"makespan_increased"`
+	ImprovedMachines  ProportionRecord `json:"improved_machines"`
+	WorsenedMachines  ProportionRecord `json:"worsened_machines"`
+	RelMeanDelta      SummaryRecord    `json:"rel_mean_completion_delta"`
+	RelMakespanDelta  SummaryRecord    `json:"rel_makespan_delta"`
+}
+
+// FromStudy converts a sim result.
+func FromStudy(r sim.Result) StudyRecord {
+	workload := r.Config.Class.Label()
+	if r.Config.IntegerGrid > 0 {
+		workload = fmt.Sprintf("grid%d", r.Config.IntegerGrid)
+	}
+	rec := StudyRecord{
+		Cell:       r.Config.Label(),
+		Heuristic:  r.Config.HeuristicName,
+		Seeded:     r.Config.Seeded,
+		RandomTies: r.Config.RandomTies,
+		Workload:   workload,
+		Tasks:      r.Config.Tasks,
+		Machines:   r.Config.Machines,
+		Trials:     r.Config.Trials,
+		Seed:       r.Config.Seed,
+	}
+	rec.Changed = proportion(r.Changed.Successes, r.Changed.N, r.Changed.Value, r.Changed.Wilson95)
+	rec.MakespanIncreased = proportion(r.MakespanIncreased.Successes, r.MakespanIncreased.N, r.MakespanIncreased.Value, r.MakespanIncreased.Wilson95)
+	rec.ImprovedMachines = proportion(r.ImprovedMachines.Successes, r.ImprovedMachines.N, r.ImprovedMachines.Value, r.ImprovedMachines.Wilson95)
+	rec.WorsenedMachines = proportion(r.WorsenedMachines.Successes, r.WorsenedMachines.N, r.WorsenedMachines.Value, r.WorsenedMachines.Wilson95)
+	rec.RelMeanDelta = SummaryRecord{
+		N: r.RelMeanDelta.N, Mean: r.RelMeanDelta.Mean, StdDev: r.RelMeanDelta.StdDev,
+		Min: r.RelMeanDelta.Min, Max: r.RelMeanDelta.Max, CI95: r.RelMeanDelta.ConfidenceInterval95(),
+	}
+	rec.RelMakespanDelta = SummaryRecord{
+		N: r.RelMakespanDelta.N, Mean: r.RelMakespanDelta.Mean, StdDev: r.RelMakespanDelta.StdDev,
+		Min: r.RelMakespanDelta.Min, Max: r.RelMakespanDelta.Max, CI95: r.RelMakespanDelta.ConfidenceInterval95(),
+	}
+	return rec
+}
+
+func proportion(successes, n int, value func() float64, wilson func() (float64, float64)) ProportionRecord {
+	lo, hi := wilson()
+	return ProportionRecord{Successes: successes, N: n, Value: value(), WilsonLo: lo, WilsonHi: hi}
+}
+
+// WriteJSON writes v as indented JSON.
+func WriteJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("report: encode: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/etc"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func TestFromExperiment(t *testing.T) {
+	rep := &experiments.Report{
+		ID:    "EX",
+		Title: "demo",
+		Body:  "rendered tables",
+		Checks: []experiments.Check{
+			{Name: "a", Want: "1", Got: "1", OK: true},
+			{Name: "b", Want: "2", Got: "3", OK: false},
+		},
+	}
+	rec := FromExperiment(rep, "Table 42", true)
+	if rec.ID != "EX" || rec.Passed || len(rec.Checks) != 2 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.Body != "rendered tables" || rec.Artifacts != "Table 42" {
+		t.Fatalf("body/artifacts = %q/%q", rec.Body, rec.Artifacts)
+	}
+	compact := FromExperiment(rep, "", false)
+	if compact.Body != "" {
+		t.Fatal("compact record retained the body")
+	}
+}
+
+func TestFromExperimentPassed(t *testing.T) {
+	rep := &experiments.Report{ID: "EY", Checks: []experiments.Check{{OK: true}}}
+	if !FromExperiment(rep, "", false).Passed {
+		t.Fatal("all-ok report not marked passed")
+	}
+}
+
+func TestFromStudyAndJSONRoundTrip(t *testing.T) {
+	res, err := sim.Run(sim.Config{
+		HeuristicName: "sufferage",
+		Class:         etc.Class{Consistency: etc.Inconsistent},
+		Tasks:         8, Machines: 3, Trials: 12, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := FromStudy(res)
+	if rec.Heuristic != "sufferage" || rec.Trials != 12 || rec.Changed.N != 12 {
+		t.Fatalf("record = %+v", rec)
+	}
+	if rec.Changed.WilsonLo > rec.Changed.Value || rec.Changed.WilsonHi < rec.Changed.Value {
+		t.Fatal("Wilson interval does not bracket the point estimate")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []StudyRecord{rec}); err != nil {
+		t.Fatal(err)
+	}
+	var back []StudyRecord
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back) != 1 || back[0] != rec {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", rec, back[0])
+	}
+}
+
+func TestFromStudyGridLabel(t *testing.T) {
+	res, err := sim.Run(sim.Config{
+		HeuristicName: "mct",
+		IntegerGrid:   4,
+		Tasks:         6, Machines: 2, Trials: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := FromStudy(res)
+	if rec.Workload != "grid4" {
+		t.Fatalf("workload label = %q", rec.Workload)
+	}
+}
+
+func TestWriteJSONDeterministic(t *testing.T) {
+	rep := &experiments.Report{ID: "EZ", Title: "t", Checks: []experiments.Check{{Name: "c", OK: true}}}
+	var a, b bytes.Buffer
+	if err := WriteJSON(&a, FromExperiment(rep, "", false)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&b, FromExperiment(rep, "", false)); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("JSON output not deterministic")
+	}
+	if !strings.Contains(a.String(), `"id": "EZ"`) {
+		t.Fatalf("unexpected JSON: %s", a.String())
+	}
+}

@@ -1,0 +1,180 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator used by every stochastic component in this repository.
+//
+// Reproducibility is a hard requirement: the paper's central subject is how
+// random tie-breaking changes mappings, so every random decision must be
+// replayable from a seed. The generator is xoshiro256** seeded through
+// splitmix64, following the reference constructions by Blackman and Vigna.
+// It is not safe for concurrent use; use Split to derive independent child
+// streams for worker goroutines.
+package rng
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic 64-bit pseudo-random source (xoshiro256**).
+// The zero value is not usable; construct with New or Split.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via splitmix64, which guarantees the
+// internal state is well mixed even for small or similar seeds.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm, src.s[i] = splitmix64(sm)
+	}
+	// xoshiro's all-zero state is a fixed point; splitmix64 cannot produce
+	// four zero outputs in a row, but guard anyway for clarity.
+	if src.s == [4]uint64{} {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// splitmix64 advances the splitmix64 state and returns the next state and
+// output value.
+func splitmix64(state uint64) (next, out uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return state, z ^ (z >> 31)
+}
+
+// Uint64 returns the next value in the stream.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Split derives a child Source whose stream is independent of the parent's
+// subsequent output. The parent is advanced; two successive Split calls
+// yield different children.
+func (r *Source) Split() *Source {
+	return New(r.Uint64())
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("rng: Intn called with n=%d", n))
+	}
+	return int(r.uint64n(uint64(n)))
+}
+
+// uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method, which avoids modulo bias.
+func (r *Source) uint64n(n uint64) uint64 {
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// UniformRange returns a uniform float64 in [lo, hi). It panics if hi < lo.
+func (r *Source) UniformRange(lo, hi float64) float64 {
+	if hi < lo {
+		panic(fmt.Sprintf("rng: UniformRange with hi=%g < lo=%g", hi, lo))
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// NormFloat64 returns a standard normal variate via the polar
+// (Marsaglia) method.
+func (r *Source) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Gamma returns a gamma variate with the given shape alpha and scale beta
+// (mean alpha*beta). It uses the Marsaglia–Tsang squeeze method, with the
+// standard alpha<1 boost. It panics if alpha <= 0 or beta <= 0.
+//
+// Gamma sampling is the core of the CVB (coefficient-of-variation based) ETC
+// generation method of Ali et al., which this repository uses to construct
+// heterogeneity-controlled workloads.
+func (r *Source) Gamma(alpha, beta float64) float64 {
+	if alpha <= 0 || beta <= 0 {
+		panic(fmt.Sprintf("rng: Gamma with alpha=%g beta=%g", alpha, beta))
+	}
+	if alpha < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(alpha+1, beta) * math.Pow(u, 1/alpha)
+	}
+	d := alpha - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return beta * d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return beta * d * v
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) via Fisher–Yates.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle applies a Fisher–Yates shuffle to n elements using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bool returns true with probability 1/2.
+func (r *Source) Bool() bool {
+	return r.Uint64()&1 == 1
+}

@@ -1,0 +1,291 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("step %d: streams diverge: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("seed 0 produced a degenerate stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("sibling splits produced %d/100 identical outputs", same)
+	}
+}
+
+func TestSplitReproducible(t *testing.T) {
+	a := New(99).Split()
+	b := New(99).Split()
+	for i := 0; i < 50; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split is not deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %g", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(4)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %g, want about 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnOne(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 100; i++ {
+		if v := r.Intn(1); v != 0 {
+			t.Fatalf("Intn(1) = %d, want 0", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(8)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.1*want {
+			t.Fatalf("bucket %d: %d draws, want about %g", i, c, want)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.UniformRange(10, 20)
+		if v < 10 || v >= 20 {
+			t.Fatalf("UniformRange(10,20) = %g", v)
+		}
+	}
+}
+
+func TestUniformRangeDegenerate(t *testing.T) {
+	r := New(9)
+	if v := r.UniformRange(5, 5); v != 5 {
+		t.Fatalf("UniformRange(5,5) = %g, want 5", v)
+	}
+}
+
+func TestUniformRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UniformRange(2,1) did not panic")
+		}
+	}()
+	New(1).UniformRange(2, 1)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(10)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %g, want about 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %g, want about 1", variance)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(11)
+	for _, tc := range []struct{ alpha, beta float64 }{
+		{0.5, 1}, {1, 2}, {2, 3}, {9, 0.5}, {25, 1},
+	} {
+		const n = 100000
+		sum, sumsq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := r.Gamma(tc.alpha, tc.beta)
+			if v <= 0 {
+				t.Fatalf("Gamma(%g,%g) produced non-positive %g", tc.alpha, tc.beta, v)
+			}
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / n
+		variance := sumsq/n - mean*mean
+		wantMean := tc.alpha * tc.beta
+		wantVar := tc.alpha * tc.beta * tc.beta
+		if math.Abs(mean-wantMean) > 0.05*wantMean {
+			t.Errorf("Gamma(%g,%g) mean = %g, want about %g", tc.alpha, tc.beta, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.15*wantVar {
+			t.Errorf("Gamma(%g,%g) variance = %g, want about %g", tc.alpha, tc.beta, variance, wantVar)
+		}
+	}
+}
+
+func TestGammaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0,1) did not panic")
+		}
+	}()
+	New(1).Gamma(0, 1)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(12)
+	if err := quick.Check(func(seed uint64) bool {
+		n := int(seed%50) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermZero(t *testing.T) {
+	if p := New(1).Perm(0); len(p) != 0 {
+		t.Fatalf("Perm(0) = %v, want empty", p)
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	r := New(13)
+	const n, trials = 5, 50000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Perm(n)[0]]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.1*want {
+			t.Fatalf("Perm first element %d appeared %d times, want about %g", i, c, want)
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(14)
+	s := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	seen := make([]bool, len(s))
+	for _, v := range s {
+		if seen[v] {
+			t.Fatalf("shuffle lost elements: %v", s)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	r := New(15)
+	const n = 100000
+	trues := 0
+	for i := 0; i < n; i++ {
+		if r.Bool() {
+			trues++
+		}
+	}
+	if math.Abs(float64(trues)/n-0.5) > 0.01 {
+		t.Fatalf("Bool true fraction = %g", float64(trues)/n)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkGamma(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Gamma(2, 3)
+	}
+}

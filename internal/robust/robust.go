@@ -1,0 +1,127 @@
+// Package robust measures how robust a mapping's makespan is against ETC
+// estimation error, following the FePIA-style robustness metric of the
+// paper's research group (Ali, Maciejewski, Siegel et al., "Measuring the
+// Robustness of a Resource Allocation"): a mapping is robust against a
+// perturbation of the ETC values if every machine's completion time stays
+// within a tolerance tau; the robustness radius of a machine is the smallest
+// (Euclidean-norm) ETC perturbation of its assigned tasks that drives its
+// completion time to tau, and the system's robustness metric is the minimum
+// radius over machines.
+//
+// The paper's iterative technique deliberately trades slack on non-makespan
+// machines; this package quantifies what that does to robustness, and a
+// Monte Carlo estimator cross-checks the analytic radius.
+package robust
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// Radius holds per-machine robustness radii for a schedule at tolerance tau.
+type Radius struct {
+	// Tau is the completion-time tolerance the radii are measured against.
+	Tau float64
+	// PerMachine[m] is the smallest Euclidean-norm perturbation of machine
+	// m's assigned tasks' ETC values that makes its completion time reach
+	// Tau. Machines with no assigned tasks are infinitely robust (their
+	// completion time cannot move).
+	PerMachine []float64
+	// Metric is the minimum over machines — the system robustness.
+	Metric float64
+	// Critical is the machine attaining the minimum (lowest index on ties),
+	// or -1 if every machine is infinitely robust.
+	Critical int
+}
+
+// Compute calculates the analytic robustness radii of a schedule.
+//
+// For machine m with assigned task set T(m), the completion time is
+// CT(m) = ready(m) + sum of ETC values; a perturbation vector d over T(m)
+// moves it to CT(m) + sum(d). The smallest Euclidean norm achieving
+// sum(d) = tau - CT(m) spreads the change equally, giving
+// radius = (tau - CT(m)) / sqrt(|T(m)|)  — the classic result.
+//
+// tau must exceed the schedule's makespan for every radius to be positive;
+// machines already beyond tau get a non-positive radius, which callers may
+// treat as "not robust at all".
+func Compute(s *sched.Schedule, tau float64) (*Radius, error) {
+	if s == nil {
+		return nil, errors.New("robust: nil schedule")
+	}
+	if math.IsNaN(tau) || math.IsInf(tau, 0) {
+		return nil, fmt.Errorf("robust: invalid tau %g", tau)
+	}
+	r := &Radius{
+		Tau:        tau,
+		PerMachine: make([]float64, len(s.Completion)),
+		Metric:     math.Inf(1),
+		Critical:   -1,
+	}
+	for m, ct := range s.Completion {
+		n := len(s.Mapping.TasksOn(m))
+		if n == 0 {
+			r.PerMachine[m] = math.Inf(1)
+			continue
+		}
+		r.PerMachine[m] = (tau - ct) / math.Sqrt(float64(n))
+		if r.PerMachine[m] < r.Metric {
+			r.Metric = r.PerMachine[m]
+			r.Critical = m
+		}
+	}
+	return r, nil
+}
+
+// TauFactor returns the conventional tolerance: the schedule's makespan
+// scaled by factor (e.g. 1.2 for "20% slack"), the usual setting in the
+// robustness literature.
+func TauFactor(s *sched.Schedule, factor float64) float64 {
+	return s.Makespan() * factor
+}
+
+// MonteCarlo estimates the probability that the schedule's makespan stays
+// within tau when every ETC entry of every *assigned* task is perturbed by
+// gamma noise with the given coefficient of variation (mean preserved). It
+// is the stochastic-robustness counterpart of the analytic radius and is
+// fully deterministic per seed.
+func MonteCarlo(s *sched.Schedule, tau, cv float64, trials int, seed uint64) (withinTau float64, err error) {
+	if s == nil {
+		return 0, errors.New("robust: nil schedule")
+	}
+	if trials <= 0 {
+		return 0, fmt.Errorf("robust: %d trials", trials)
+	}
+	if cv < 0 {
+		return 0, fmt.Errorf("robust: negative cv %g", cv)
+	}
+	src := rng.New(seed)
+	in := s.Instance
+	alpha := math.Inf(1)
+	if cv > 0 {
+		alpha = 1 / (cv * cv)
+	}
+	ok := 0
+	for trial := 0; trial < trials; trial++ {
+		makespan := 0.0
+		for m := 0; m < in.Machines(); m++ {
+			ct := in.Ready(m)
+			for _, t := range s.Mapping.TasksOn(m) {
+				v := in.ETC().At(t, m)
+				if cv > 0 {
+					v = src.Gamma(alpha, v/alpha)
+				}
+				ct += v
+			}
+			makespan = math.Max(makespan, ct)
+		}
+		if makespan <= tau {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials), nil
+}

@@ -1,0 +1,196 @@
+package robust
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/etc"
+	"repro/internal/heuristics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/tiebreak"
+)
+
+func schedule(t *testing.T, vs [][]float64, assign []int) *sched.Schedule {
+	t.Helper()
+	in, err := sched.NewInstance(etc.MustNew(vs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.Evaluate(in, sched.Mapping{Assign: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestComputeHandWorked(t *testing.T) {
+	// Machine 0 holds two tasks (CT 6), machine 1 one task (CT 5).
+	s := schedule(t, [][]float64{
+		{2, 9},
+		{4, 9},
+		{9, 5},
+	}, []int{0, 0, 1})
+	r, err := Compute(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// radius(m0) = (8-6)/sqrt(2), radius(m1) = (8-5)/1 = 3.
+	want0 := 2 / math.Sqrt2
+	if math.Abs(r.PerMachine[0]-want0) > 1e-12 {
+		t.Errorf("radius m0 = %g, want %g", r.PerMachine[0], want0)
+	}
+	if r.PerMachine[1] != 3 {
+		t.Errorf("radius m1 = %g, want 3", r.PerMachine[1])
+	}
+	if r.Critical != 0 || math.Abs(r.Metric-want0) > 1e-12 {
+		t.Errorf("metric = %g on machine %d", r.Metric, r.Critical)
+	}
+}
+
+func TestComputeIdleMachineInfinitelyRobust(t *testing.T) {
+	s := schedule(t, [][]float64{{2, 9}}, []int{0})
+	r, err := Compute(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r.PerMachine[1], 1) {
+		t.Fatalf("idle machine radius = %g, want +Inf", r.PerMachine[1])
+	}
+	if r.Critical != 0 {
+		t.Fatalf("critical = %d", r.Critical)
+	}
+}
+
+func TestComputeNonPositiveWhenBeyondTau(t *testing.T) {
+	s := schedule(t, [][]float64{{10}}, []int{0})
+	r, err := Compute(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerMachine[0] >= 0 {
+		t.Fatalf("machine beyond tau has radius %g, want negative", r.PerMachine[0])
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(nil, 1); err == nil {
+		t.Error("nil schedule accepted")
+	}
+	s := schedule(t, [][]float64{{1}}, []int{0})
+	if _, err := Compute(s, math.NaN()); err == nil {
+		t.Error("NaN tau accepted")
+	}
+}
+
+func TestTauFactor(t *testing.T) {
+	s := schedule(t, [][]float64{{5}}, []int{0})
+	if got := TauFactor(s, 1.2); got != 6 {
+		t.Fatalf("TauFactor = %g, want 6", got)
+	}
+}
+
+func TestMonteCarloZeroNoiseAlwaysWithin(t *testing.T) {
+	s := schedule(t, [][]float64{{5, 9}, {9, 4}}, []int{0, 1})
+	p, err := MonteCarlo(s, s.Makespan(), 0, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Fatalf("zero-noise within-tau probability = %g, want 1", p)
+	}
+	// And an impossible tolerance fails every trial.
+	p, err = MonteCarlo(s, s.Makespan()*0.9, 0, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Fatalf("sub-makespan tau probability = %g, want 0", p)
+	}
+}
+
+func TestMonteCarloMonotoneInTau(t *testing.T) {
+	src := rng.New(7)
+	m, err := etc.GenerateRange(etc.RangeParams{Tasks: 15, Machines: 4, TaskHet: 50, MachineHet: 8}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _ := sched.NewInstance(m, nil)
+	mp, _ := (heuristics.MinMin{}).Map(in, tiebreak.First{})
+	s, _ := sched.Evaluate(in, mp)
+	pTight, err := MonteCarlo(s, TauFactor(s, 1.02), 0.1, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pLoose, err := MonteCarlo(s, TauFactor(s, 1.5), 0.1, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pLoose < pTight {
+		t.Fatalf("looser tolerance less likely to hold: %g < %g", pLoose, pTight)
+	}
+	if pLoose < 0.99 {
+		t.Fatalf("50%% slack at cv=0.1 should almost always hold, got %g", pLoose)
+	}
+}
+
+// Larger analytic radius should align with higher stochastic within-tau
+// probability across two mappings of the same instance.
+func TestAnalyticAndStochasticAgreeDirectionally(t *testing.T) {
+	in, err := sched.NewInstance(etc.MustNew([][]float64{
+		{4, 4},
+		{4, 4},
+		{4, 4},
+		{4, 4},
+	}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced, _ := sched.Evaluate(in, sched.Mapping{Assign: []int{0, 0, 1, 1}}) // CTs (8, 8)
+	skewed, _ := sched.Evaluate(in, sched.Mapping{Assign: []int{0, 0, 0, 1}})   // CTs (12, 4)
+	const tau = 13.0
+	rBal, err := Compute(balanced, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSkew, err := Compute(skewed, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rBal.Metric <= rSkew.Metric {
+		t.Fatalf("balanced mapping should be more robust: %g vs %g", rBal.Metric, rSkew.Metric)
+	}
+	pBal, err := MonteCarlo(balanced, tau, 0.25, 4000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSkew, err := MonteCarlo(skewed, tau, 0.25, 4000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pBal <= pSkew {
+		t.Fatalf("stochastic estimate disagrees with analytic ordering: %g vs %g", pBal, pSkew)
+	}
+}
+
+func TestMonteCarloErrors(t *testing.T) {
+	s := schedule(t, [][]float64{{1}}, []int{0})
+	if _, err := MonteCarlo(nil, 1, 0.1, 10, 1); err == nil {
+		t.Error("nil schedule accepted")
+	}
+	if _, err := MonteCarlo(s, 1, 0.1, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := MonteCarlo(s, 1, -0.1, 10, 1); err == nil {
+		t.Error("negative cv accepted")
+	}
+}
+
+func TestMonteCarloDeterministicPerSeed(t *testing.T) {
+	s := schedule(t, [][]float64{{3, 9}, {9, 4}}, []int{0, 1})
+	a, _ := MonteCarlo(s, 8, 0.3, 500, 11)
+	b, _ := MonteCarlo(s, 8, 0.3, 500, 11)
+	if a != b {
+		t.Fatal("Monte Carlo estimate not reproducible per seed")
+	}
+}

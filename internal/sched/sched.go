@@ -1,0 +1,290 @@
+// Package sched models the heterogeneous-computing scheduling problem of the
+// paper: a set of independent tasks mapped offline onto machines with known
+// ETC values and initial ready times.
+//
+// The central types are Instance (an immutable problem: ETC matrix plus
+// initial ready times), Mapping (an assignment of every task to a machine),
+// and Schedule (a mapping evaluated against an instance: per-machine
+// completion times, makespan, metrics). Completion time follows the paper's
+// Equation 1: CT(t, m) = ETC(t, m) + RT(m), with RT updated as tasks
+// accumulate on a machine.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/etc"
+)
+
+// Instance is an immutable scheduling problem.
+type Instance struct {
+	m     *etc.Matrix
+	ready []float64 // initial ready time per machine
+}
+
+// NewInstance builds an instance from an ETC matrix and initial ready times.
+// ready may be nil, meaning all machines start at time zero. Ready times
+// must be finite and non-negative.
+func NewInstance(m *etc.Matrix, ready []float64) (*Instance, error) {
+	if m == nil {
+		return nil, errors.New("sched: nil ETC matrix")
+	}
+	r := make([]float64, m.Machines())
+	if ready != nil {
+		if len(ready) != m.Machines() {
+			return nil, fmt.Errorf("sched: %d ready times for %d machines", len(ready), m.Machines())
+		}
+		for i, v := range ready {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return nil, fmt.Errorf("sched: ready time %d = %g is not a finite non-negative value", i, v)
+			}
+			r[i] = v
+		}
+	}
+	return &Instance{m: m, ready: r}, nil
+}
+
+// MustInstance is NewInstance but panics on error; for constants and tests.
+func MustInstance(m *etc.Matrix, ready []float64) *Instance {
+	in, err := NewInstance(m, ready)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// ETC returns the instance's matrix.
+func (in *Instance) ETC() *etc.Matrix { return in.m }
+
+// Tasks returns the number of tasks.
+func (in *Instance) Tasks() int { return in.m.Tasks() }
+
+// Machines returns the number of machines.
+func (in *Instance) Machines() int { return in.m.Machines() }
+
+// Ready returns machine m's initial ready time.
+func (in *Instance) Ready(m int) float64 { return in.ready[m] }
+
+// ReadyTimes returns a copy of all initial ready times.
+func (in *Instance) ReadyTimes() []float64 {
+	r := make([]float64, len(in.ready))
+	copy(r, in.ready)
+	return r
+}
+
+// Restrict returns the sub-instance over the given task and machine index
+// sets (in the receiver's coordinates), carrying the retained machines'
+// initial ready times.
+func (in *Instance) Restrict(tasks, machines []int) (*Instance, error) {
+	sub, err := in.m.SubMatrix(tasks, machines)
+	if err != nil {
+		return nil, err
+	}
+	r := make([]float64, len(machines))
+	for i, mm := range machines {
+		r[i] = in.ready[mm]
+	}
+	return &Instance{m: sub, ready: r}, nil
+}
+
+// Mapping assigns every task to a machine: Assign[t] is task t's machine.
+type Mapping struct {
+	Assign []int
+}
+
+// NewMapping returns a mapping with all assignments set to -1 (unmapped),
+// for incremental construction by heuristics.
+func NewMapping(tasks int) Mapping {
+	a := make([]int, tasks)
+	for i := range a {
+		a[i] = -1
+	}
+	return Mapping{Assign: a}
+}
+
+// Clone returns a deep copy.
+func (mp Mapping) Clone() Mapping {
+	a := make([]int, len(mp.Assign))
+	copy(a, mp.Assign)
+	return Mapping{Assign: a}
+}
+
+// Equal reports whether two mappings are identical.
+func (mp Mapping) Equal(o Mapping) bool {
+	if len(mp.Assign) != len(o.Assign) {
+		return false
+	}
+	for i, v := range mp.Assign {
+		if o.Assign[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Complete reports whether every task is assigned.
+func (mp Mapping) Complete() bool {
+	for _, v := range mp.Assign {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the mapping against an instance: complete and in range.
+func (mp Mapping) Validate(in *Instance) error {
+	if len(mp.Assign) != in.Tasks() {
+		return fmt.Errorf("sched: mapping covers %d tasks, instance has %d", len(mp.Assign), in.Tasks())
+	}
+	for t, m := range mp.Assign {
+		if m < 0 || m >= in.Machines() {
+			return fmt.Errorf("sched: task %d assigned to machine %d, out of range [0,%d)", t, m, in.Machines())
+		}
+	}
+	return nil
+}
+
+// TasksOn returns the tasks assigned to machine m, in task-index order.
+func (mp Mapping) TasksOn(m int) []int {
+	var ts []int
+	for t, mm := range mp.Assign {
+		if mm == m {
+			ts = append(ts, t)
+		}
+	}
+	return ts
+}
+
+// Schedule is a mapping evaluated against an instance.
+type Schedule struct {
+	Instance *Instance
+	Mapping  Mapping
+	// Completion[m] is machine m's finishing time: its initial ready time
+	// plus the ETCs of all tasks assigned to it (order-independent, since
+	// tasks are independent and machines run one task at a time).
+	Completion []float64
+	// TaskFinish[t] is the completion time of task t assuming tasks execute
+	// on each machine in ascending task-index order (the order heuristics
+	// append them is not part of the paper's model; per-machine totals are).
+	TaskFinish []float64
+}
+
+// Evaluate computes the schedule for a mapping on an instance. It returns an
+// error if the mapping is invalid.
+func Evaluate(in *Instance, mp Mapping) (*Schedule, error) {
+	if err := mp.Validate(in); err != nil {
+		return nil, err
+	}
+	s := &Schedule{
+		Instance:   in,
+		Mapping:    mp.Clone(),
+		Completion: in.ReadyTimes(),
+		TaskFinish: make([]float64, in.Tasks()),
+	}
+	for t, m := range mp.Assign {
+		s.Completion[m] += in.ETC().At(t, m)
+		s.TaskFinish[t] = s.Completion[m]
+	}
+	return s, nil
+}
+
+// Makespan returns the largest machine completion time.
+func (s *Schedule) Makespan() float64 {
+	ms := math.Inf(-1)
+	for _, c := range s.Completion {
+		ms = math.Max(ms, c)
+	}
+	return ms
+}
+
+// MakespanMachine returns the index of the machine that finishes last,
+// breaking ties toward the lowest index (the deterministic convention used
+// throughout this repository), along with its completion time.
+func (s *Schedule) MakespanMachine() (machine int, completion float64) {
+	machine, completion = 0, s.Completion[0]
+	for m := 1; m < len(s.Completion); m++ {
+		if s.Completion[m] > completion {
+			machine, completion = m, s.Completion[m]
+		}
+	}
+	return machine, completion
+}
+
+// MinCompletion returns the smallest machine completion time.
+func (s *Schedule) MinCompletion() float64 {
+	mn := math.Inf(1)
+	for _, c := range s.Completion {
+		mn = math.Min(mn, c)
+	}
+	return mn
+}
+
+// MeanCompletion returns the mean machine completion time.
+func (s *Schedule) MeanCompletion() float64 {
+	sum := 0.0
+	for _, c := range s.Completion {
+		sum += c
+	}
+	return sum / float64(len(s.Completion))
+}
+
+// BalanceIndex returns min ready / max ready over machine completion times,
+// the load-balance index used by the Switching Algorithm. By convention it
+// is 0 when the maximum is 0 (nothing scheduled anywhere).
+func (s *Schedule) BalanceIndex() float64 {
+	return BalanceIndex(s.Completion)
+}
+
+// BalanceIndex computes min/max over a ready-time vector, 0 if max is 0.
+func BalanceIndex(ready []float64) float64 {
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, r := range ready {
+		mn = math.Min(mn, r)
+		mx = math.Max(mx, r)
+	}
+	if mx == 0 {
+		return 0
+	}
+	return mn / mx
+}
+
+// Utilization returns, per machine, busy time divided by makespan (busy time
+// excludes the initial ready time). Machines idle for the whole horizon have
+// utilization 0. Returns nil if makespan is 0.
+func (s *Schedule) Utilization() []float64 {
+	ms := s.Makespan()
+	if ms == 0 {
+		return nil
+	}
+	u := make([]float64, len(s.Completion))
+	for m, c := range s.Completion {
+		u[m] = (c - s.Instance.Ready(m)) / ms
+	}
+	return u
+}
+
+// String renders per-machine loads compactly for logs and test failures.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	msMachine, ms := s.MakespanMachine()
+	fmt.Fprintf(&b, "schedule makespan=%.4g (machine %d)\n", ms, msMachine)
+	for m, c := range s.Completion {
+		tasks := s.Mapping.TasksOn(m)
+		fmt.Fprintf(&b, "  m%-2d CT=%-8.4g tasks=%v\n", m, c, tasks)
+	}
+	return b.String()
+}
+
+// CompletionsSorted returns the machine completion times in ascending order,
+// useful for comparing schedules up to machine permutation.
+func (s *Schedule) CompletionsSorted() []float64 {
+	cs := make([]float64, len(s.Completion))
+	copy(cs, s.Completion)
+	sort.Float64s(cs)
+	return cs
+}

@@ -1,0 +1,265 @@
+// Package sim is the Monte Carlo evaluation harness: it measures, over
+// random ETC workloads, how often the iterative technique changes a
+// heuristic's mapping, how often it makes the makespan worse, and what it
+// does to the non-makespan machines' completion times — turning the paper's
+// qualitative per-heuristic findings into measured frequencies.
+//
+// Trials fan out over a bounded worker pool (one goroutine per CPU, fed by a
+// channel, per the share-by-communicating idiom). Every trial derives its
+// own random stream from the experiment seed, so results are reproducible
+// regardless of scheduling.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/etc"
+	"repro/internal/heuristics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/tiebreak"
+)
+
+// Config describes one experimental cell.
+type Config struct {
+	// HeuristicName is a heuristics.Registry name.
+	HeuristicName string
+	// Seeded wraps the heuristic in heuristics.Seeded, the paper's
+	// conclusion proposal.
+	Seeded bool
+	// RandomTies selects random tie-breaking; otherwise deterministic
+	// lowest-index.
+	RandomTies bool
+	// Class is the ETC workload class (used when IntegerGrid is 0).
+	Class etc.Class
+	// IntegerGrid, when positive, draws ETC entries uniformly from the
+	// integers 1..IntegerGrid instead of the continuous class generator.
+	// Small grids make ties frequent — the regime where random and
+	// deterministic tie-breaking actually differ (continuous draws almost
+	// never tie).
+	IntegerGrid int
+	// Tasks and Machines give the workload shape.
+	Tasks, Machines int
+	// Trials is the number of independent workloads.
+	Trials int
+	// Seed drives all randomness of the cell.
+	Seed uint64
+}
+
+// Label returns a compact cell identifier for reports.
+func (c Config) Label() string {
+	pol := "det"
+	if c.RandomTies {
+		pol = "rnd"
+	}
+	name := c.HeuristicName
+	if c.Seeded {
+		name = "seeded-" + name
+	}
+	workload := c.Class.Label()
+	if c.IntegerGrid > 0 {
+		workload = fmt.Sprintf("grid%d", c.IntegerGrid)
+	}
+	return fmt.Sprintf("%s/%s/%s/%dx%d", name, pol, workload, c.Tasks, c.Machines)
+}
+
+// trialResult is one trial's measurements.
+type trialResult struct {
+	changed           bool
+	makespanIncreased bool
+	improved          int // machines with reduced completion time
+	worsened          int
+	unchanged         int
+	// relMeanDelta is (final mean completion - original mean completion)
+	// divided by the original mean completion: negative is good.
+	relMeanDelta float64
+	// relMakespanDelta is the relative change in overall makespan.
+	relMakespanDelta float64
+	err              error
+}
+
+// Result aggregates a cell.
+type Result struct {
+	Config            Config
+	Changed           stats.Proportion // trials where any iteration differed
+	MakespanIncreased stats.Proportion // trials with a strictly worse makespan
+	ImprovedMachines  stats.Proportion // machines improved, over all machines of all trials
+	WorsenedMachines  stats.Proportion
+	RelMeanDelta      stats.Summary // relative change of mean machine completion
+	RelMakespanDelta  stats.Summary // relative change of overall makespan
+}
+
+// Run executes the cell. It returns an error if the configuration is
+// invalid or any trial fails.
+func Run(cfg Config) (Result, error) {
+	if cfg.Trials <= 0 {
+		return Result{}, fmt.Errorf("sim: %d trials", cfg.Trials)
+	}
+	if _, err := heuristics.ByName(cfg.HeuristicName, 0); err != nil {
+		return Result{}, err
+	}
+	// Pre-split one deterministic stream per trial, in trial order.
+	parent := rng.New(cfg.Seed)
+	seeds := make([]uint64, cfg.Trials)
+	for i := range seeds {
+		seeds[i] = parent.Uint64()
+	}
+
+	results := make([]trialResult, cfg.Trials)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runTrial(cfg, seeds[i])
+			}
+		}()
+	}
+	for i := 0; i < cfg.Trials; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	return aggregate(cfg, results)
+}
+
+func runTrial(cfg Config, seed uint64) trialResult {
+	src := rng.New(seed)
+	var m *etc.Matrix
+	var err error
+	if cfg.IntegerGrid > 0 {
+		vs := make([][]float64, cfg.Tasks)
+		for t := range vs {
+			vs[t] = make([]float64, cfg.Machines)
+			for j := range vs[t] {
+				vs[t][j] = float64(1 + src.Intn(cfg.IntegerGrid))
+			}
+		}
+		m, err = etc.New(vs)
+	} else {
+		m, err = etc.GenerateClass(cfg.Class, cfg.Tasks, cfg.Machines, src)
+	}
+	if err != nil {
+		return trialResult{err: err}
+	}
+	in, err := sched.NewInstance(m, nil)
+	if err != nil {
+		return trialResult{err: err}
+	}
+	h, err := heuristics.ByName(cfg.HeuristicName, src.Uint64())
+	if err != nil {
+		return trialResult{err: err}
+	}
+	if cfg.Seeded {
+		h = heuristics.Seeded{Inner: h}
+	}
+	var policy core.PolicyFunc
+	if cfg.RandomTies {
+		policy = core.FixedPolicy(tiebreak.NewRandom(src.Split()))
+	} else {
+		policy = core.Deterministic()
+	}
+	tr, err := core.Iterate(in, h, policy)
+	if err != nil {
+		return trialResult{err: err}
+	}
+	res := trialResult{
+		changed:           tr.Changed(),
+		makespanIncreased: tr.MakespanIncreased(),
+	}
+	for _, o := range tr.MachineOutcomes() {
+		switch o {
+		case core.Improved:
+			res.improved++
+		case core.Worsened:
+			res.worsened++
+		default:
+			res.unchanged++
+		}
+	}
+	orig, err := tr.Original()
+	if err != nil {
+		return trialResult{err: err}
+	}
+	final, err := tr.FinalSchedule()
+	if err != nil {
+		return trialResult{err: err}
+	}
+	if om := orig.MeanCompletion(); om > 0 {
+		res.relMeanDelta = (final.MeanCompletion() - om) / om
+	}
+	if oms := orig.Makespan(); oms > 0 {
+		res.relMakespanDelta = (tr.FinalMakespan() - oms) / oms
+	}
+	return res
+}
+
+func aggregate(cfg Config, results []trialResult) (Result, error) {
+	out := Result{Config: cfg}
+	meanDeltas := make([]float64, 0, len(results))
+	makespanDeltas := make([]float64, 0, len(results))
+	for i, r := range results {
+		if r.err != nil {
+			return Result{}, fmt.Errorf("sim: trial %d: %w", i, r.err)
+		}
+		out.Changed.N++
+		out.MakespanIncreased.N++
+		if r.changed {
+			out.Changed.Successes++
+		}
+		if r.makespanIncreased {
+			out.MakespanIncreased.Successes++
+		}
+		machines := r.improved + r.worsened + r.unchanged
+		out.ImprovedMachines.N += machines
+		out.ImprovedMachines.Successes += r.improved
+		out.WorsenedMachines.N += machines
+		out.WorsenedMachines.Successes += r.worsened
+		meanDeltas = append(meanDeltas, r.relMeanDelta)
+		makespanDeltas = append(makespanDeltas, r.relMakespanDelta)
+	}
+	var err error
+	if out.RelMeanDelta, err = stats.Summarize(meanDeltas); err != nil {
+		return Result{}, err
+	}
+	if out.RelMakespanDelta, err = stats.Summarize(makespanDeltas); err != nil {
+		return Result{}, err
+	}
+	return out, nil
+}
+
+// Study runs a grid of cells: every heuristic name × every class × both tie
+// policies, holding shape and trial count fixed. Results arrive in a stable
+// order (heuristic-major, then class, then policy).
+func Study(names []string, classes []etc.Class, tasks, machines, trials int, seed uint64) ([]Result, error) {
+	var out []Result
+	for _, name := range names {
+		for _, class := range classes {
+			for _, random := range []bool{false, true} {
+				cfg := Config{
+					HeuristicName: name,
+					RandomTies:    random,
+					Class:         class,
+					Tasks:         tasks,
+					Machines:      machines,
+					Trials:        trials,
+					Seed:          seed,
+				}
+				r, err := Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("sim: cell %s: %w", cfg.Label(), err)
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/etc"
+)
+
+func cfg() Config {
+	return Config{
+		HeuristicName: "mct",
+		Class:         etc.Class{Consistency: etc.Inconsistent},
+		Tasks:         10,
+		Machines:      4,
+		Trials:        40,
+		Seed:          1,
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	r, err := Run(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Changed.N != 40 || r.MakespanIncreased.N != 40 {
+		t.Fatalf("trial counts = %d/%d", r.Changed.N, r.MakespanIncreased.N)
+	}
+	if r.ImprovedMachines.N != 40*4 {
+		t.Fatalf("machine observations = %d, want 160", r.ImprovedMachines.N)
+	}
+	if r.RelMeanDelta.N != 40 {
+		t.Fatalf("delta sample = %d", r.RelMeanDelta.N)
+	}
+}
+
+// The theorems say deterministic MCT/MET/Min-Min never change: the harness
+// must measure exactly zero.
+func TestRunMeasuresTheorems(t *testing.T) {
+	for _, name := range []string{"mct", "met", "min-min"} {
+		c := cfg()
+		c.HeuristicName = name
+		c.RandomTies = false
+		r, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Changed.Successes != 0 {
+			t.Errorf("%s: %d/%d trials changed under deterministic ties", name, r.Changed.Successes, r.Changed.N)
+		}
+		if r.MakespanIncreased.Successes != 0 {
+			t.Errorf("%s: makespan increased under deterministic ties", name)
+		}
+		if r.RelMeanDelta.Max != 0 || r.RelMeanDelta.Min != 0 {
+			t.Errorf("%s: nonzero completion deltas %v", name, r.RelMeanDelta)
+		}
+	}
+}
+
+// Seeded heuristics may change mappings but must never worsen makespan.
+func TestRunSeededNeverWorsens(t *testing.T) {
+	c := cfg()
+	c.HeuristicName = "sufferage"
+	c.Seeded = true
+	r, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MakespanIncreased.Successes != 0 {
+		t.Fatalf("seeded sufferage worsened makespan in %d trials", r.MakespanIncreased.Successes)
+	}
+	if r.RelMakespanDelta.Max > 1e-9 {
+		t.Fatalf("seeded sufferage max relative makespan delta %g > 0", r.RelMakespanDelta.Max)
+	}
+}
+
+func TestRunReproducible(t *testing.T) {
+	a, err := Run(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Changed != b.Changed || a.RelMeanDelta != b.RelMeanDelta {
+		t.Fatal("identical configs produced different results")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	c := cfg()
+	c.Trials = 0
+	if _, err := Run(c); err == nil {
+		t.Error("0 trials accepted")
+	}
+	c = cfg()
+	c.HeuristicName = "bogus"
+	if _, err := Run(c); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+}
+
+func TestLabel(t *testing.T) {
+	c := cfg()
+	c.Seeded = true
+	c.RandomTies = true
+	l := c.Label()
+	for _, want := range []string{"seeded-mct", "rnd", "10x4"} {
+		if !strings.Contains(l, want) {
+			t.Fatalf("label %q missing %q", l, want)
+		}
+	}
+}
+
+func TestStudyGrid(t *testing.T) {
+	classes := []etc.Class{
+		{Consistency: etc.Consistent},
+		{Consistency: etc.Inconsistent},
+	}
+	rs, err := Study([]string{"mct", "sufferage"}, classes, 8, 3, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2*2*2 {
+		t.Fatalf("study produced %d cells, want 8", len(rs))
+	}
+	// Stable order: first cell is mct/consistent/deterministic.
+	if rs[0].Config.HeuristicName != "mct" || rs[0].Config.RandomTies {
+		t.Fatalf("first cell = %s", rs[0].Config.Label())
+	}
+}
+
+func TestIntegerGridWorkloads(t *testing.T) {
+	c := cfg()
+	c.IntegerGrid = 3
+	c.HeuristicName = "mct"
+	c.RandomTies = true
+	r, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tie-dense grids under random tie-breaking must actually change some
+	// mappings (the whole point of the option).
+	if r.Changed.Successes == 0 {
+		t.Fatal("grid workloads under random ties changed nothing; ties are not reaching the policy")
+	}
+	if !strings.Contains(r.Config.Label(), "grid3") {
+		t.Fatalf("label = %q", r.Config.Label())
+	}
+	// Deterministic MCT must still never change (theorem), even on grids.
+	c.RandomTies = false
+	r, err = Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Changed.Successes != 0 {
+		t.Fatal("deterministic MCT changed on grid workloads")
+	}
+}

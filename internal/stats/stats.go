@@ -1,0 +1,182 @@
+// Package stats provides the small set of descriptive statistics the Monte
+// Carlo study needs: summary moments, quantiles, normal-approximation
+// confidence intervals, and fixed-width histograms. Stdlib only.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N              int
+	Mean, Variance float64 // Variance is the unbiased sample variance
+	StdDev         float64
+	Min, Max       float64
+}
+
+// Summarize computes a Summary. It returns an error for an empty sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, errors.New("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(s.N-1)
+		s.StdDev = math.Sqrt(s.Variance)
+	}
+	return s, nil
+}
+
+// ConfidenceInterval95 returns the half-width of the normal-approximation
+// 95% confidence interval for the mean.
+func (s Summary) ConfidenceInterval95() float64 {
+	if s.N < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean ± ci [min, max] (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g [%.4g, %.4g] (n=%d)", s.Mean, s.ConfidenceInterval95(), s.Min, s.Max, s.N)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation of the sorted sample. It returns an error for an empty
+// sample or q outside [0, 1].
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: empty sample")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %g outside [0,1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Proportion holds a binomial proportion with its sample size.
+type Proportion struct {
+	Successes, N int
+}
+
+// Value returns successes/N (0 for an empty sample).
+func (p Proportion) Value() float64 {
+	if p.N == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.N)
+}
+
+// Wilson95 returns the 95% Wilson score interval, which behaves sensibly
+// for proportions near 0 or 1 (the frequent case: "how often does the
+// iterative technique worsen Min-Min?").
+func (p Proportion) Wilson95() (lo, hi float64) {
+	if p.N == 0 {
+		return 0, 1
+	}
+	const z = 1.96
+	n := float64(p.N)
+	phat := p.Value()
+	denom := 1 + z*z/n
+	center := (phat + z*z/(2*n)) / denom
+	half := z * math.Sqrt(phat*(1-phat)/n+z*z/(4*n*n)) / denom
+	lo = math.Max(0, center-half)
+	hi = math.Min(1, center+half)
+	return lo, hi
+}
+
+// String renders "p=0.123 (95% CI 0.100-0.150, n=N)".
+func (p Proportion) String() string {
+	lo, hi := p.Wilson95()
+	return fmt.Sprintf("p=%.4f (95%% CI %.4f-%.4f, n=%d)", p.Value(), lo, hi, p.N)
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	// Under and Over count samples outside [Lo, Hi).
+	Under, Over int
+}
+
+// NewHistogram builds a histogram with bins bins over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: %d bins", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram range [%g, %g) empty", lo, hi)
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // guard the x==Hi-ulp rounding edge
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of observations including out-of-range ones.
+func (h *Histogram) Total() int {
+	n := h.Under + h.Over
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// String renders an ASCII bar chart.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := 1
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := strings.Repeat("#", c*40/maxCount)
+		fmt.Fprintf(&b, "[%8.3g, %8.3g) %6d %s\n", h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c, bar)
+	}
+	if h.Under > 0 || h.Over > 0 {
+		fmt.Fprintf(&b, "outside range: %d under, %d over\n", h.Under, h.Over)
+	}
+	return b.String()
+}

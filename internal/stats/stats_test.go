@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(s.Variance-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %g, want %g", s.Variance, 32.0/7)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Variance != 0 || s.StdDev != 0 {
+		t.Fatalf("single-sample variance = %g", s.Variance)
+	}
+	if !math.IsInf(s.ConfidenceInterval95(), 1) {
+		t.Fatal("CI for n=1 should be infinite")
+	}
+}
+
+func TestConfidenceIntervalShrinks(t *testing.T) {
+	small, _ := Summarize([]float64{1, 2, 3, 4})
+	big := make([]float64, 400)
+	for i := range big {
+		big[i] = float64(i%4) + 1
+	}
+	large, _ := Summarize(big)
+	if large.ConfidenceInterval95() >= small.ConfidenceInterval95() {
+		t.Fatal("CI did not shrink with sample size")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s, _ := Summarize([]float64{1, 2, 3})
+	if !strings.Contains(s.String(), "n=3") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	} {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Fatal("Quantile mutated input")
+	}
+}
+
+func TestQuantileErrors(t *testing.T) {
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := Quantile([]float64{1}, -0.1); err == nil {
+		t.Error("q<0 accepted")
+	}
+	if _, err := Quantile([]float64{1}, 1.1); err == nil {
+		t.Error("q>1 accepted")
+	}
+}
+
+func TestQuantileSingle(t *testing.T) {
+	got, err := Quantile([]float64{7}, 0.99)
+	if err != nil || got != 7 {
+		t.Fatalf("single-sample quantile = %g, %v", got, err)
+	}
+}
+
+func TestProportion(t *testing.T) {
+	p := Proportion{Successes: 30, N: 100}
+	if p.Value() != 0.3 {
+		t.Fatalf("Value = %g", p.Value())
+	}
+	lo, hi := p.Wilson95()
+	if !(lo < 0.3 && 0.3 < hi) {
+		t.Fatalf("Wilson interval [%g, %g] does not contain the point estimate", lo, hi)
+	}
+	if lo < 0.2 || hi > 0.42 {
+		t.Fatalf("Wilson interval [%g, %g] implausibly wide", lo, hi)
+	}
+}
+
+func TestProportionEdges(t *testing.T) {
+	zero := Proportion{Successes: 0, N: 50}
+	lo, hi := zero.Wilson95()
+	if lo != 0 || hi <= 0 || hi > 0.15 {
+		t.Fatalf("zero-successes interval [%g, %g]", lo, hi)
+	}
+	all := Proportion{Successes: 50, N: 50}
+	lo, hi = all.Wilson95()
+	if hi != 1 || lo >= 1 || lo < 0.85 {
+		t.Fatalf("all-successes interval [%g, %g]", lo, hi)
+	}
+	empty := Proportion{}
+	if empty.Value() != 0 {
+		t.Fatal("empty proportion value != 0")
+	}
+	lo, hi = empty.Wilson95()
+	if lo != 0 || hi != 1 {
+		t.Fatalf("empty proportion interval [%g, %g], want [0, 1]", lo, hi)
+	}
+}
+
+func TestProportionString(t *testing.T) {
+	if !strings.Contains((Proportion{1, 4}).String(), "p=0.25") {
+		t.Fatal("missing point estimate")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0, 1.9, 2, 5, 9.999, -1, 10, 11} {
+		h.Add(x)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under/over = %d/%d", h.Under, h.Over)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("0 bins accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h, _ := NewHistogram(0, 2, 2)
+	h.Add(0.5)
+	h.Add(1.5)
+	h.Add(1.6)
+	out := h.String()
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no bars:\n%s", out)
+	}
+	h.Add(-1)
+	if !strings.Contains(h.String(), "under") {
+		t.Fatal("out-of-range not reported")
+	}
+}

@@ -1,0 +1,98 @@
+// Package table renders plain-text tables in the style of the paper's
+// resource-allocation tables: a header row, aligned columns, and a rule
+// under the header. It is deliberately minimal — stdlib only, monospace
+// output for terminals, logs and EXPERIMENTS.md.
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders them aligned.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// New creates a table with the given title (may be empty) and column
+// headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row. Cells are formatted with %v; float64 cells use a
+// compact %g form. Rows shorter than the header are padded, longer rows
+// extend the column count.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.6g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		var line strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			fmt.Fprintf(&line, "%-*s", widths[i], cell)
+		}
+		// Trim trailing padding for clean diffs.
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	rule := make([]string, cols)
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

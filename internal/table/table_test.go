@@ -1,0 +1,94 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBasicRendering(t *testing.T) {
+	tb := New("Title", "task", "machine", "CT")
+	tb.AddRow("t0", "m1", 2.5)
+	tb.AddRow("t1", "m0", 10.0)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "task") || !strings.Contains(lines[1], "machine") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("rule = %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "2.5") {
+		t.Errorf("row = %q", lines[3])
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := New("", "a")
+	tb.AddRow("x")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Fatal("empty title produced a leading blank line")
+	}
+}
+
+func TestColumnsAligned(t *testing.T) {
+	tb := New("", "name", "v")
+	tb.AddRow("short", 1)
+	tb.AddRow("muchlongername", 2)
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// "v" column must start at the same offset in both data rows.
+	i1 := strings.Index(lines[2], "1")
+	i2 := strings.Index(lines[3], "2")
+	if i1 != i2 {
+		t.Fatalf("misaligned columns:\n%s", tb.String())
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("x")           // short
+	tb.AddRow("y", "z", "w") // long
+	out := tb.String()
+	if !strings.Contains(out, "w") {
+		t.Fatalf("extra column lost:\n%s", out)
+	}
+}
+
+func TestNoTrailingSpaces(t *testing.T) {
+	tb := New("", "aaaa", "b")
+	tb.AddRow("x", "y")
+	for _, line := range strings.Split(tb.String(), "\n") {
+		if strings.HasSuffix(line, " ") {
+			t.Fatalf("trailing space in %q", line)
+		}
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("", "v")
+	tb.AddRow(6.5)
+	tb.AddRow(1.0 / 3.0)
+	out := tb.String()
+	if !strings.Contains(out, "6.5") {
+		t.Fatalf("float lost precision:\n%s", out)
+	}
+	if !strings.Contains(out, "0.333333") {
+		t.Fatalf("long float misformatted:\n%s", out)
+	}
+}
+
+func TestLen(t *testing.T) {
+	tb := New("", "a")
+	if tb.Len() != 0 {
+		t.Fatal("fresh table non-empty")
+	}
+	tb.AddRow(1)
+	if tb.Len() != 1 {
+		t.Fatal("Len != 1")
+	}
+}

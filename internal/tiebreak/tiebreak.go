@@ -1,0 +1,143 @@
+// Package tiebreak defines the tie-breaking policies that the paper shows to
+// be decisive for the iterative technique: with deterministic tie-breaking
+// Min-Min, MCT and MET provably never change across iterations, while random
+// tie-breaking lets all of them increase makespan.
+//
+// A tie arises when a heuristic must choose among several equally good
+// candidates (machines, or task-machine pairs). Heuristics collect the tied
+// candidate indices and delegate the choice to a Policy.
+package tiebreak
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Policy chooses one index from a non-empty slice of tied candidates.
+// Candidates are always presented in ascending canonical order (lowest task
+// or machine index first), so deterministic policies are well defined.
+type Policy interface {
+	// Choose returns one element of candidates. It panics if candidates is
+	// empty: heuristics guarantee at least one candidate.
+	Choose(candidates []int) int
+	// Name identifies the policy in experiment records.
+	Name() string
+}
+
+// First breaks ties deterministically by choosing the lowest-index
+// candidate, the paper's "oldest task / lowest reference number" convention.
+type First struct{}
+
+// Choose returns the first (lowest) candidate.
+func (First) Choose(candidates []int) int {
+	mustNonEmpty(candidates)
+	return candidates[0]
+}
+
+// Name implements Policy.
+func (First) Name() string { return "deterministic-first" }
+
+// Last breaks ties deterministically by choosing the highest-index
+// candidate. It exists to demonstrate that *any* fixed deterministic rule
+// satisfies the paper's theorems, not just lowest-index.
+type Last struct{}
+
+// Choose returns the last (highest) candidate.
+func (Last) Choose(candidates []int) int {
+	mustNonEmpty(candidates)
+	return candidates[len(candidates)-1]
+}
+
+// Name implements Policy.
+func (Last) Name() string { return "deterministic-last" }
+
+// Random breaks ties uniformly at random from a deterministic seeded stream.
+// It is stateful: each Choose consumes randomness.
+type Random struct {
+	src *rng.Source
+}
+
+// NewRandom returns a Random policy drawing from src.
+func NewRandom(src *rng.Source) *Random { return &Random{src: src} }
+
+// Choose returns a uniformly random candidate.
+func (r *Random) Choose(candidates []int) int {
+	mustNonEmpty(candidates)
+	if len(candidates) == 1 {
+		return candidates[0]
+	}
+	return candidates[r.src.Intn(len(candidates))]
+}
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random" }
+
+// Scripted replays a fixed sequence of choices: the k-th tie with more than
+// one candidate selects the candidate whose position is Script[k] (modulo
+// the number of candidates). Once the script is exhausted it falls back to
+// First. Scripted policies let experiments force the exact alternate tie
+// path a paper example describes, and let the counterexample searcher
+// enumerate all tie paths systematically.
+type Scripted struct {
+	Script []int
+	step   int
+}
+
+// Choose implements Policy.
+func (s *Scripted) Choose(candidates []int) int {
+	mustNonEmpty(candidates)
+	if len(candidates) == 1 {
+		return candidates[0]
+	}
+	if s.step >= len(s.Script) {
+		return candidates[0]
+	}
+	pick := s.Script[s.step] % len(candidates)
+	s.step++
+	return candidates[pick]
+}
+
+// Name implements Policy.
+func (s *Scripted) Name() string { return fmt.Sprintf("scripted%v", s.Script) }
+
+// Reset rewinds the script so the policy can be reused across iterations.
+func (s *Scripted) Reset() { s.step = 0 }
+
+// Recorder wraps a Policy and records every genuine tie (more than one
+// candidate) it resolves, so callers can discover where ties occurred.
+type Recorder struct {
+	Inner Policy
+	// Ties[k] is the candidate set of the k-th genuine tie, and Picks[k]
+	// the index chosen.
+	Ties  [][]int
+	Picks []int
+}
+
+// NewRecorder wraps inner.
+func NewRecorder(inner Policy) *Recorder { return &Recorder{Inner: inner} }
+
+// Choose implements Policy, recording genuine ties.
+func (r *Recorder) Choose(candidates []int) int {
+	mustNonEmpty(candidates)
+	pick := r.Inner.Choose(candidates)
+	if len(candidates) > 1 {
+		cs := make([]int, len(candidates))
+		copy(cs, candidates)
+		r.Ties = append(r.Ties, cs)
+		r.Picks = append(r.Picks, pick)
+	}
+	return pick
+}
+
+// Name implements Policy.
+func (r *Recorder) Name() string { return "recorded(" + r.Inner.Name() + ")" }
+
+// TieCount returns the number of genuine ties resolved so far.
+func (r *Recorder) TieCount() int { return len(r.Ties) }
+
+func mustNonEmpty(candidates []int) {
+	if len(candidates) == 0 {
+		panic("tiebreak: Choose called with no candidates")
+	}
+}
