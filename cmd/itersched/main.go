@@ -7,6 +7,13 @@
 //
 //	itersched -etc workload.csv [-heuristic min-min] [-ties det|random]
 //	          [-seed 1] [-seeded] [-ready 0,5,0]
+//	          [-trace events.jsonl] [-metrics]
+//
+// -trace streams the engine's typed events (iteration_start,
+// heuristic_done, machine_frozen, trace_done) as one JSON object per line;
+// -metrics prints a deterministic snapshot of the engine counters after the
+// run. Event timing fields (elapsed_ns) are wall-clock and observational
+// only — everything else in the stream is deterministic per seed.
 //
 // Example:
 //
@@ -25,6 +32,7 @@ import (
 	"repro/internal/etc"
 	"repro/internal/gantt"
 	"repro/internal/heuristics"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/tiebreak"
@@ -47,6 +55,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed      = fs.Uint64("seed", 1, "seed for random tie-breaking and stochastic heuristics")
 		seeded    = fs.Bool("seeded", false, "wrap the heuristic with seeding (never-worsen guarantee)")
 		ready     = fs.String("ready", "", "comma-separated initial machine ready times (default all 0)")
+		tracePath = fs.String("trace", "", "write engine events as JSONL to this path")
+		metrics   = fs.Bool("metrics", false, "print an engine metrics snapshot after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,9 +105,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown -ties %q (want det or random)", *ties)
 	}
 
-	tr, err := core.Iterate(in, h, policy)
+	var observers obs.Multi
+	var trace *obs.JSONL
+	var traceFile *os.File
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		trace = obs.NewJSONL(traceFile)
+		observers = append(observers, trace)
+	}
+	var reg *obs.Metrics
+	if *metrics {
+		reg = obs.NewMetrics()
+		observers = append(observers, obs.NewMetricsObserver(reg))
+	}
+	var observer obs.Observer
+	if len(observers) > 0 {
+		observer = observers
+	}
+
+	tr, err := core.IterateOpts(in, h, policy, core.Options{Observer: observer})
 	if err != nil {
 		return err
+	}
+	if trace != nil {
+		if err := trace.Err(); err != nil {
+			return fmt.Errorf("writing -trace: %w", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return fmt.Errorf("writing -trace: %w", err)
+		}
 	}
 
 	fmt.Fprintf(stdout, "heuristic %s, %d tasks, %d machines, %s ties\n\n",
@@ -156,6 +196,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "  (improved)")
 	default:
 		fmt.Fprintln(stdout, "  (unchanged)")
+	}
+	if reg != nil {
+		fmt.Fprintf(stdout, "\nengine metrics:\n%s", reg.Snapshot().Text())
 	}
 	return nil
 }

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -95,6 +97,88 @@ func TestErrors(t *testing.T) {
 	for _, args := range cases {
 		if _, err := runCLI(t, args...); err == nil {
 			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestTraceAndMetricsFlags(t *testing.T) {
+	path := writeCSV(t, smallETC)
+	tracePath := filepath.Join(t.TempDir(), "events.jsonl")
+	out, err := runCLI(t, "-etc", path, "-heuristic", "min-min", "-trace", tracePath, "-metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"engine metrics:", "counter   engine.iterations", "histogram engine.heuristic_ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if lines[0] != `{"event":"iteration_start","iteration":0,"tasks":3,"machines":3}` {
+		t.Errorf("first trace line = %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], `{"event":"trace_done"`) {
+		t.Errorf("last trace line = %s", lines[len(lines)-1])
+	}
+	for i, line := range lines {
+		var decoded map[string]any
+		if err := json.Unmarshal([]byte(line), &decoded); err != nil {
+			t.Errorf("trace line %d not valid JSON: %v", i, err)
+		}
+	}
+}
+
+func TestTraceUnwritablePath(t *testing.T) {
+	path := writeCSV(t, smallETC)
+	if _, err := runCLI(t, "-etc", path, "-trace", "/nonexistent/dir/out.jsonl"); err == nil {
+		t.Fatal("unwritable -trace path accepted")
+	}
+}
+
+// elapsedNS matches the only wall-clock fields in the event stream; the
+// golden comparison zeroes them (they are observational and vary run to
+// run), pinning everything else byte for byte.
+var elapsedNS = regexp.MustCompile(`"elapsed_ns":[0-9]+`)
+
+func normalizeTrace(raw []byte) string {
+	return string(elapsedNS.ReplaceAll(raw, []byte(`"elapsed_ns":0`)))
+}
+
+// TestGoldenTraceJSONL pins the -trace event stream on the paper's
+// Sufferage example and proves it is deterministic run-to-run: two
+// back-to-back runs must produce identical streams modulo wall-clock.
+func TestGoldenTraceJSONL(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("testdata", "paper_sufferage.trace.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := make([]string, 2)
+	for i := range runs {
+		tracePath := filepath.Join(t.TempDir(), "events.jsonl")
+		if _, err := runCLI(t, "-etc", filepath.Join("testdata", "paper_sufferage.csv"),
+			"-heuristic", "sufferage", "-trace", tracePath); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[i] = normalizeTrace(raw)
+	}
+	if runs[0] != runs[1] {
+		t.Fatalf("event stream not deterministic run-to-run:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", runs[0], runs[1])
+	}
+	if runs[0] != string(golden) {
+		t.Fatalf("event stream drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", runs[0], golden)
+	}
+	// The stream must exhibit the paper's headline pathology.
+	for _, want := range []string{`"original_makespan":10,"final_makespan":10.5`, `"heuristic":"sufferage"`} {
+		if !strings.Contains(runs[0], want) {
+			t.Errorf("trace missing %q", want)
 		}
 	}
 }

@@ -8,17 +8,28 @@
 //	sweep                                  # default grid, 200 trials per cell
 //	sweep -heuristics mct,sufferage -trials 1000 -tasks 64 -machines 8
 //	sweep -classes hihi-i,lolo-c -seeded
+//	sweep -metrics -pprof 127.0.0.1:6060   # run telemetry + live profiling
+//
+// -metrics prints a snapshot of the harness telemetry (per-trial wall-time
+// histogram, worker utilization, trials/sec) after the table; -pprof serves
+// stdlib net/http/pprof on the given address for the duration of the sweep
+// (off by default). Neither affects the measured results: wall-clock is
+// observational only and every trial remains deterministic per seed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // -pprof registers the stdlib profiling handlers
 	"os"
 	"strings"
 
 	"repro/internal/etc"
 	"repro/internal/heuristics"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/table"
@@ -44,9 +55,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seeded   = fs.Bool("seeded", false, "also run seeded variants")
 		grid     = fs.Int("grid", 0, "draw ETC entries from integers 1..grid (tie-dense) instead of the class generator")
 		jsonPath = fs.String("json", "", "also archive results as JSON records at this path")
+		metrics  = fs.Bool("metrics", false, "print a harness telemetry snapshot after the sweep")
+		pprof    = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); off when empty")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprof != "" {
+		ln, err := net.Listen("tcp", *pprof)
+		if err != nil {
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		defer ln.Close()
+		srv := &http.Server{Handler: http.DefaultServeMux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+	}
+	var reg *obs.Metrics
+	if *metrics {
+		reg = obs.NewMetrics()
 	}
 
 	var classList []etc.Class
@@ -98,6 +126,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 					HeuristicName: name, RandomTies: random, Class: class,
 					IntegerGrid: *grid,
 					Tasks:       *tasks, Machines: *machines, Trials: *trials, Seed: *seed,
+					Metrics: reg,
 				}
 				if err := addCell(cfg); err != nil {
 					return err
@@ -112,6 +141,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	fmt.Fprint(stdout, tb.String())
+	if reg != nil {
+		fmt.Fprintf(stdout, "\nharness telemetry:\n%s", reg.Snapshot().Text())
+	}
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {

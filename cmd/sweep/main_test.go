@@ -110,3 +110,47 @@ func TestSweepJSONArchive(t *testing.T) {
 		t.Fatalf("got %d records, want 2", len(records))
 	}
 }
+
+func TestMetricsFlag(t *testing.T) {
+	out, err := runCLI(t,
+		"-heuristics", "mct",
+		"-classes", "hihi-i",
+		"-tasks", "6", "-machines", "3", "-trials", "8",
+		"-metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"harness telemetry:",
+		"counter   sim.trials",
+		"gauge     sim.trials_per_sec",
+		"gauge     sim.worker_utilization",
+		"histogram sim.trial_ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, out)
+		}
+	}
+	// Two cells (det + rnd) of 8 trials each share the registry.
+	if !strings.Contains(out, "counter   sim.trials                   16") {
+		t.Errorf("sim.trials should accumulate across cells:\n%s", out)
+	}
+}
+
+func TestPProfFlag(t *testing.T) {
+	// Port 0 lets the kernel pick a free port; the sweep must still run.
+	out, err := runCLI(t,
+		"-heuristics", "mct",
+		"-classes", "hihi-i",
+		"-tasks", "6", "-machines", "3", "-trials", "4",
+		"-pprof", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mct/det/hihi-i/6x3") {
+		t.Errorf("sweep output missing results:\n%s", out)
+	}
+	if _, err := runCLI(t, "-pprof", "not-an-address", "-trials", "1"); err == nil {
+		t.Error("invalid -pprof address accepted")
+	}
+}

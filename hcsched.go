@@ -25,12 +25,15 @@
 package hcsched
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/counterexample"
 	"repro/internal/etc"
 	"repro/internal/experiments"
 	"repro/internal/gantt"
 	"repro/internal/heuristics"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -72,6 +75,34 @@ type (
 	Experiment = experiments.Experiment
 	// GanttOptions controls chart rendering.
 	GanttOptions = gantt.Options
+)
+
+// Observability types (see internal/obs): the engine emits typed events to
+// an Observer and aggregates into a Metrics registry; wall-clock fields are
+// observational only and never influence scheduling.
+type (
+	// Observer receives engine events during IterateObserved.
+	Observer = obs.Observer
+	// Event is one typed engine observation.
+	Event = obs.Event
+	// IterationStartEvent opens each heuristic run.
+	IterationStartEvent = obs.IterationStart
+	// HeuristicDoneEvent closes each heuristic run with tie counters.
+	HeuristicDoneEvent = obs.HeuristicDone
+	// MachineFrozenEvent records each machine removal.
+	MachineFrozenEvent = obs.MachineFrozen
+	// TraceDoneEvent closes the run.
+	TraceDoneEvent = obs.TraceDone
+	// Metrics is a registry of named counters, gauges and histograms.
+	Metrics = obs.Metrics
+	// MetricsSnapshot is a deterministic point-in-time copy of a Metrics.
+	MetricsSnapshot = obs.Snapshot
+	// TraceWriter streams events as JSONL (one JSON object per line).
+	TraceWriter = obs.JSONL
+	// EventCollector buffers events in memory, for tests and inspection.
+	EventCollector = obs.Collector
+	// MultiObserver fans events out to several observers in order.
+	MultiObserver = obs.Multi
 )
 
 // Machine outcome values.
@@ -127,6 +158,25 @@ func Iterate(in *Instance, h Heuristic, policy PolicyFunc) (*Trace, error) {
 	return core.Iterate(in, h, policy)
 }
 
+// IterateObserved is Iterate with an attached Observer receiving the
+// engine's typed events. A nil observer is exactly Iterate: no events are
+// constructed and the hot path is untouched. Observation never perturbs the
+// result — the returned Trace is identical either way.
+func IterateObserved(in *Instance, h Heuristic, policy PolicyFunc, o Observer) (*Trace, error) {
+	return core.IterateOpts(in, h, policy, core.Options{Observer: o})
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// NewTraceWriter returns an Observer streaming every event to w as JSONL.
+// Check its Err method after the run for latched write errors.
+func NewTraceWriter(w io.Writer) *TraceWriter { return obs.NewJSONL(w) }
+
+// MetricsObserver returns an Observer folding engine events into m under
+// the "engine." metric namespace.
+func MetricsObserver(m *Metrics) Observer { return obs.NewMetricsObserver(m) }
+
 // GenerateETC builds a random workload in the given class (the canonical
 // range-based method) with the given shape, deterministically from seed.
 func GenerateETC(class WorkloadClass, tasks, machines int, seed uint64) (*ETCMatrix, error) {
@@ -153,12 +203,17 @@ func Experiments() []Experiment { return experiments.All() }
 // tie-breaking (possible for SWA, KPB and Sufferage; provably impossible
 // for Min-Min, MCT and MET). It returns the matrix, the number of
 // candidates examined, and whether the search succeeded within attempts.
+// An unknown heuristic name returns (nil, 0, false) without searching; use
+// Heuristics to list the valid names.
 func FindCounterexample(name string, deterministicOnly bool, tasks, machines int, attempts int64, seed uint64) (*ETCMatrix, int64, bool) {
+	if _, err := heuristics.ByName(name, seed); err != nil {
+		return nil, 0, false
+	}
 	target := counterexample.Target{
 		Heuristic: func() heuristics.Heuristic {
 			h, err := heuristics.ByName(name, seed)
 			if err != nil {
-				panic(err) // name validated by callers; see NewHeuristic
+				panic(err) // unreachable: name validated above
 			}
 			return h
 		},

@@ -1,6 +1,7 @@
 package hcsched_test
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -214,5 +215,77 @@ func TestFacadeAnalysisTools(t *testing.T) {
 	}
 	if p < 0.95 {
 		t.Fatalf("within-tau probability = %g, want near 1", p)
+	}
+}
+
+func TestFacadeFindCounterexampleUnknownName(t *testing.T) {
+	// An unknown heuristic must be rejected up front — (nil, 0, false) —
+	// rather than panicking inside the search target.
+	m, attempts, ok := hcsched.FindCounterexample("no-such-heuristic", false, 4, 3, 100, 1)
+	if ok || m != nil || attempts != 0 {
+		t.Fatalf("unknown name: got (%v, %d, %v), want (nil, 0, false)", m, attempts, ok)
+	}
+}
+
+func TestFacadeObservability(t *testing.T) {
+	in, err := hcsched.NewInstance(hcsched.MustETC([][]float64{
+		{4, 9, 9},
+		{9, 2, 2},
+		{9, 9, 3},
+	}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hcsched.NewHeuristic("min-min", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := hcsched.Iterate(in, h, hcsched.DeterministicTies())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events hcsched.EventCollector
+	var jsonl strings.Builder
+	metrics := hcsched.NewMetrics()
+	trace := hcsched.NewTraceWriter(&jsonl)
+	observer := hcsched.MultiObserver{&events, trace, hcsched.MetricsObserver(metrics)}
+	tr, err := hcsched.IterateObserved(in, h, hcsched.DeterministicTies(), observer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, tr) {
+		t.Fatal("observed trace differs from plain trace")
+	}
+	if events.Len() == 0 {
+		t.Fatal("no events collected")
+	}
+	if kinds := events.Kinds(); kinds[len(kinds)-1] != "trace_done" {
+		t.Fatalf("last event = %q, want trace_done", kinds[len(kinds)-1])
+	}
+	if !strings.Contains(jsonl.String(), `{"event":"trace_done"`) {
+		t.Fatalf("JSONL stream missing trace_done:\n%s", jsonl.String())
+	}
+	snap := metrics.Snapshot()
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "engine.traces" && c.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("engine.traces != 1 in snapshot:\n%s", snap.Text())
+	}
+
+	// A nil observer is exactly Iterate.
+	viaNil, err := hcsched.IterateObserved(in, h, hcsched.DeterministicTies(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, viaNil) {
+		t.Fatal("nil observer changed the result")
 	}
 }

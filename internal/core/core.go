@@ -19,8 +19,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/heuristics"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/tiebreak"
 )
@@ -64,9 +66,9 @@ type Iteration struct {
 	Frozen int
 }
 
-// completionOf returns this iteration's completion time for global machine
-// m, and whether m is active in the iteration.
-func (it *Iteration) completionOf(m int) (float64, bool) {
+// MachineCompletion returns this iteration's completion time for global
+// machine m, and whether m is active in the iteration.
+func (it *Iteration) MachineCompletion(m int) (float64, bool) {
 	for j, mm := range it.Machines {
 		if mm == m {
 			return it.Completion[j], true
@@ -157,7 +159,7 @@ func (tr *Trace) MachineOutcomes() []MachineOutcome {
 	orig := tr.Iterations[0]
 	out := make([]MachineOutcome, tr.Instance.Machines())
 	for m := range out {
-		before, _ := orig.completionOf(m)
+		before, _ := orig.MachineCompletion(m)
 		after := tr.FinalCompletion[m]
 		switch {
 		case after < before-comparisonEpsilon:
@@ -216,6 +218,14 @@ type Options struct {
 	MaxIterations int
 	// FreezeRule selects the frozen machine per iteration.
 	FreezeRule FreezeRule
+	// Observer, when non-nil, receives obs events (IterationStart,
+	// HeuristicDone, MachineFrozen, TraceDone) as the technique runs, with
+	// tie-breaking counters gathered through a tiebreak.Counting wrapper.
+	// A nil Observer is free: no events are constructed, no policy is
+	// wrapped, no clock is read, and the trace is bit-for-bit what it was
+	// before observability existed. Event timing fields are wall-clock and
+	// observational only — they never influence scheduling decisions.
+	Observer obs.Observer
 }
 
 // Iterate runs the paper's iterative technique to completion.
@@ -254,13 +264,30 @@ func IterateOpts(in *sched.Instance, h heuristics.Heuristic, policy PolicyFunc, 
 	activeMachines := ascending(in.Machines())
 	var prev *Iteration // previous iteration, for seeding
 
+	observer := opts.Observer
+	var runStart time.Time
+	if observer != nil {
+		runStart = time.Now()
+	}
+
 	for iter := 0; len(activeMachines) > 0 && len(activeTasks) > 0 &&
 		(opts.MaxIterations == 0 || iter < opts.MaxIterations); iter++ {
 		sub, err := in.Restrict(activeTasks, activeMachines)
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d: %w", iter, err)
 		}
-		mp, err := runHeuristic(h, sub, policy(iter), prev, activeTasks, activeMachines)
+		tb := policy(iter)
+		var counting *tiebreak.Counting
+		var heurStart time.Time
+		if observer != nil {
+			observer.Observe(obs.IterationStart{
+				Iteration: iter, Tasks: len(activeTasks), Machines: len(activeMachines),
+			})
+			counting = &tiebreak.Counting{Inner: tb}
+			tb = counting
+			heurStart = time.Now()
+		}
+		mp, err := runHeuristic(h, sub, tb, prev, activeTasks, activeMachines)
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d: %w", iter, err)
 		}
@@ -281,6 +308,18 @@ func IterateOpts(in *sched.Instance, h heuristics.Heuristic, policy PolicyFunc, 
 		local, ms := s.MakespanMachine()
 		it.MakespanMachine = activeMachines[local]
 		it.Makespan = ms
+		if observer != nil {
+			observer.Observe(obs.HeuristicDone{
+				Iteration:       iter,
+				Heuristic:       h.Name(),
+				Makespan:        it.Makespan,
+				MakespanMachine: it.MakespanMachine,
+				TiebreakCalls:   counting.Invocations,
+				Ties:            counting.Ties,
+				Candidates:      counting.Candidates,
+				ElapsedNS:       time.Since(heurStart).Nanoseconds(),
+			})
+		}
 		switch opts.FreezeRule {
 		case FreezeMinCompletion:
 			minLocal := 0
@@ -317,8 +356,28 @@ func IterateOpts(in *sched.Instance, h heuristics.Heuristic, policy PolicyFunc, 
 			}
 		}
 		activeTasks = keep
+		if observer != nil {
+			completion, _ := it.MachineCompletion(frozen)
+			observer.Observe(obs.MachineFrozen{
+				Iteration:   iter,
+				Machine:     frozen,
+				Completion:  completion,
+				FrozenTasks: len(it.Tasks) - len(keep),
+			})
+		}
 		prevIt := it
 		prev = &prevIt
+	}
+	if observer != nil {
+		done := obs.TraceDone{
+			Iterations:    len(tr.Iterations),
+			FinalMakespan: tr.FinalMakespan(),
+			ElapsedNS:     time.Since(runStart).Nanoseconds(),
+		}
+		if len(tr.Iterations) > 0 {
+			done.OriginalMakespan = tr.OriginalMakespan()
+		}
+		observer.Observe(done)
 	}
 	return tr, nil
 }

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/etc"
+	"repro/internal/heuristics"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// instanceForBench builds a deterministic random instance without a
+// testing.T (benchmarks share it).
+func instanceForBench(tasks, machines int) (*sched.Instance, error) {
+	m, err := etc.GenerateRange(etc.RangeParams{Tasks: tasks, Machines: machines, TaskHet: 50, MachineHet: 8}, rng.New(99))
+	if err != nil {
+		return nil, err
+	}
+	return sched.NewInstance(m, nil)
+}
+
+// TestObserverEventStream checks the taxonomy on a known 3x3 instance: the
+// technique runs 3 iterations, freezing 2 machines, so the stream must be
+// (IterationStart, HeuristicDone, MachineFrozen) x2 then a final iteration
+// without a freeze, closed by TraceDone.
+func TestObserverEventStream(t *testing.T) {
+	in := inst(t, [][]float64{
+		{4, 9, 9},
+		{9, 2, 2},
+		{9, 9, 3},
+	})
+	var c obs.Collector
+	tr, err := IterateOpts(in, heuristics.MinMin{}, Deterministic(), Options{Observer: &c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"iteration_start", "heuristic_done", "machine_frozen",
+		"iteration_start", "heuristic_done", "machine_frozen",
+		"iteration_start", "heuristic_done",
+		"trace_done",
+	}
+	if got := c.Kinds(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("event stream = %v, want %v", got, want)
+	}
+	events := c.Events()
+	first := events[0].(obs.IterationStart)
+	if first.Tasks != 3 || first.Machines != 3 {
+		t.Fatalf("iteration 0 start = %+v", first)
+	}
+	hd := events[1].(obs.HeuristicDone)
+	if hd.Heuristic != "min-min" || hd.Makespan != tr.Iterations[0].Makespan ||
+		hd.MakespanMachine != tr.Iterations[0].MakespanMachine {
+		t.Fatalf("heuristic_done = %+v vs iteration %+v", hd, tr.Iterations[0])
+	}
+	if hd.TiebreakCalls == 0 || hd.Candidates < hd.TiebreakCalls {
+		t.Fatalf("implausible tie counters: %+v", hd)
+	}
+	mf := events[2].(obs.MachineFrozen)
+	if mf.Machine != tr.Iterations[0].Frozen {
+		t.Fatalf("frozen machine %d, trace says %d", mf.Machine, tr.Iterations[0].Frozen)
+	}
+	if wantC, _ := tr.Iterations[0].MachineCompletion(mf.Machine); mf.Completion != wantC {
+		t.Fatalf("frozen completion %g, trace says %g", mf.Completion, wantC)
+	}
+	td := events[len(events)-1].(obs.TraceDone)
+	if td.Iterations != len(tr.Iterations) || td.FinalMakespan != tr.FinalMakespan() ||
+		td.OriginalMakespan != tr.OriginalMakespan() {
+		t.Fatalf("trace_done = %+v", td)
+	}
+}
+
+// TestObservationDoesNotPerturb runs the technique with and without an
+// observer on random workloads: the traces must be deeply identical — the
+// instrumenting policy wrapper and the event emission may not change a
+// single decision.
+func TestObservationDoesNotPerturb(t *testing.T) {
+	src := rng.New(77)
+	for trial := 0; trial < 10; trial++ {
+		in := randomInstance(t, src, 3+src.Intn(12), 2+src.Intn(5))
+		for _, h := range []heuristics.Heuristic{heuristics.MinMin{}, heuristics.Sufferage{}, heuristics.SWA{Low: 0.33, High: 0.49}} {
+			plain, err := Iterate(in, h, Deterministic())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var c obs.Collector
+			observed, err := IterateOpts(in, h, Deterministic(), Options{Observer: &c})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(plain, observed) {
+				t.Fatalf("%s: observed trace differs from plain trace", h.Name())
+			}
+			if c.Len() == 0 {
+				t.Fatalf("%s: no events collected", h.Name())
+			}
+		}
+	}
+}
+
+// TestNilObserverAddsNoAllocations is the instrumentation-path allocation
+// guard: IterateOpts with the zero Options (nil Observer) must allocate
+// exactly as much as the seed entry point Iterate — the observability
+// branches may cost nothing when disabled.
+func TestNilObserverAddsNoAllocations(t *testing.T) {
+	in := inst(t, [][]float64{
+		{4, 9, 9},
+		{9, 2, 2},
+		{9, 9, 3},
+	})
+	base := testing.AllocsPerRun(200, func() {
+		if _, err := Iterate(in, heuristics.MinMin{}, Deterministic()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	opts := testing.AllocsPerRun(200, func() {
+		if _, err := IterateOpts(in, heuristics.MinMin{}, Deterministic(), Options{Observer: nil}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if opts != base {
+		t.Fatalf("nil-observer path allocates %v, seed path %v", opts, base)
+	}
+}
+
+// BenchmarkObserverOverhead quantifies the cost of observation so BENCH
+// records track it: nil (the default), Nop (events constructed and
+// discarded), and the metrics bridge.
+func BenchmarkObserverOverhead(b *testing.B) {
+	in, err := instanceForBench(24, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	metrics := obs.NewMetrics()
+	cases := []struct {
+		name string
+		o    obs.Observer
+	}{
+		{"nil", nil},
+		{"nop", obs.Nop{}},
+		{"metrics", obs.NewMetricsObserver(metrics)},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := IterateOpts(in, heuristics.MinMin{}, Deterministic(), Options{Observer: tc.o}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/etc"
+	"repro/internal/heuristics"
+	"repro/internal/sched"
+)
+
+// instReady is inst with explicit initial ready times.
+func instReady(t *testing.T, vs [][]float64, ready []float64) *sched.Instance {
+	t.Helper()
+	in, err := sched.NewInstance(etc.MustNew(vs), ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// Degenerate-input coverage for the Trace accessors: single-machine
+// instances, machines left idle at their initial ready times, and runs
+// capped at the original mapping. The happy paths are exercised all over
+// the suite; these shapes were not.
+
+func TestTraceAccessorsSingleMachine(t *testing.T) {
+	in := inst(t, [][]float64{{2}, {3}, {4}})
+	tr, err := Iterate(in, heuristics.MinMin{}, Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Iterations) != 1 {
+		t.Fatalf("iterations = %d, want 1 (nothing to freeze)", len(tr.Iterations))
+	}
+	if got := tr.OriginalMakespan(); got != 9 {
+		t.Fatalf("original makespan = %g, want 9", got)
+	}
+	if got := tr.FinalMakespan(); got != 9 {
+		t.Fatalf("final makespan = %g, want 9", got)
+	}
+	if tr.MakespanIncreased() {
+		t.Fatal("single machine cannot worsen")
+	}
+	if tr.Changed() {
+		t.Fatal("single machine cannot change")
+	}
+	orig, err := tr.Original()
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := tr.FinalSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Makespan() != final.Makespan() {
+		t.Fatalf("original %g != final %g", orig.Makespan(), final.Makespan())
+	}
+	for m, o := range tr.MachineOutcomes() {
+		if o != Unchanged {
+			t.Fatalf("machine %d outcome = %v, want unchanged", m, o)
+		}
+	}
+	if c, ok := tr.Iterations[0].MachineCompletion(0); !ok || c != 9 {
+		t.Fatalf("MachineCompletion(0) = (%g, %v)", c, ok)
+	}
+	if _, ok := tr.Iterations[0].MachineCompletion(1); ok {
+		t.Fatal("MachineCompletion reported a machine the instance does not have")
+	}
+}
+
+// TestTraceAccessorsIdleMachines maps one task over three machines with
+// nonzero ready times: two machines never receive a task and must finish at
+// their initial ready times in every accessor.
+func TestTraceAccessorsIdleMachines(t *testing.T) {
+	m := [][]float64{{1, 50, 50}}
+	ready := []float64{0, 5, 2}
+	in := instReady(t, m, ready)
+	tr, err := Iterate(in, heuristics.MinMin{}, Deterministic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The task lands on machine 0 (CT 1); machines 1 and 2 stay idle. The
+	// overall makespan is machine 1's ready time, 5.
+	if tr.FinalCompletion[0] != 1 || tr.FinalCompletion[1] != 5 || tr.FinalCompletion[2] != 2 {
+		t.Fatalf("final completions = %v, want [1 5 2]", tr.FinalCompletion)
+	}
+	if got := tr.FinalMakespan(); got != 5 {
+		t.Fatalf("final makespan = %g, want the idle machine's ready time 5", got)
+	}
+	if tr.MakespanIncreased() {
+		t.Fatal("idle machines cannot worsen the makespan")
+	}
+	final, err := tr.FinalSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Completion[1] != 5 || final.Completion[2] != 2 {
+		t.Fatalf("schedule completions = %v; idle machines must finish at ready time", final.Completion)
+	}
+	for machine, o := range tr.MachineOutcomes() {
+		if o != Unchanged {
+			t.Fatalf("machine %d outcome = %v, want unchanged", machine, o)
+		}
+	}
+	// The idle machine with ready time 5 IS the makespan machine of every
+	// iteration it survives to, so the technique freezes idle machines
+	// first (with zero tasks) and the task-bearing machine survives.
+	if got := tr.Iterations[0].Frozen; got != 1 {
+		t.Fatalf("first frozen machine = %d, want the idle machine 1", got)
+	}
+	if len(tr.Iterations) != 3 {
+		t.Fatalf("iterations = %d, want 3", len(tr.Iterations))
+	}
+}
+
+func TestTraceAccessorsMaxIterationsOne(t *testing.T) {
+	in := inst(t, [][]float64{
+		{4, 9, 9},
+		{9, 2, 2},
+		{9, 9, 3},
+	})
+	tr, err := IterateOpts(in, heuristics.Sufferage{}, Deterministic(), Options{MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Iterations) != 1 {
+		t.Fatalf("iterations = %d, want 1", len(tr.Iterations))
+	}
+	if tr.Changed() {
+		t.Fatal("the original mapping alone cannot constitute a change")
+	}
+	if tr.MakespanIncreased() {
+		t.Fatal("the original mapping alone cannot increase the makespan")
+	}
+	if tr.OriginalMakespan() != tr.FinalMakespan() {
+		t.Fatalf("original %g != final %g with MaxIterations=1", tr.OriginalMakespan(), tr.FinalMakespan())
+	}
+	orig, err := tr.Original()
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := tr.FinalSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := range orig.Completion {
+		if orig.Completion[m] != final.Completion[m] {
+			t.Fatalf("machine %d: original CT %g != final CT %g", m, orig.Completion[m], final.Completion[m])
+		}
+	}
+	for m, o := range tr.MachineOutcomes() {
+		if o != Unchanged {
+			t.Fatalf("machine %d outcome = %v, want unchanged", m, o)
+		}
+	}
+}

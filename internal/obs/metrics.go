@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64 (last value wins).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores x.
+func (g *Gauge) Set(x float64) { g.bits.Store(math.Float64bits(x)) }
+
+// Value returns the last stored value (zero if never set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a mutex-guarded bounded histogram (a concurrency-safe
+// wrapper around stats.Histogram). Out-of-range observations land in the
+// Under/Over buckets, so the memory footprint is fixed regardless of input.
+type Histogram struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	h.mu.Lock()
+	h.h.Add(x)
+	h.mu.Unlock()
+}
+
+// snapshot returns a deep copy of the underlying histogram.
+func (h *Histogram) snapshot() stats.Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cp := *h.h
+	cp.Counts = append([]int(nil), h.h.Counts...)
+	return cp
+}
+
+// Metrics is a registry of named counters, gauges and histograms. Lookups
+// get-or-create under a short lock; the returned handles update atomically
+// (counters, gauges) or under a per-histogram mutex, so hot paths should
+// hold onto handles rather than re-looking them up per event.
+//
+// The zero value is not usable; call NewMetrics.
+type Metrics struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.RLock()
+	c, ok := m.counters[name]
+	m.mu.RUnlock()
+	if ok {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok = m.counters[name]; !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.RLock()
+	g, ok := m.gauges[name]
+	m.mu.RUnlock()
+	if ok {
+		return g
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g, ok = m.gauges[name]; !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with bins bins over
+// [lo, hi) on first use; later calls return the existing histogram and
+// ignore the bounds. It panics on invalid bounds (a programmer error, as in
+// stats.NewHistogram).
+func (m *Metrics) Histogram(name string, lo, hi float64, bins int) *Histogram {
+	m.mu.RLock()
+	h, ok := m.histograms[name]
+	m.mu.RUnlock()
+	if ok {
+		return h
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok = m.histograms[name]; !ok {
+		sh, err := stats.NewHistogram(lo, hi, bins)
+		if err != nil {
+			panic("obs: " + err.Error())
+		}
+		h = &Histogram{h: sh}
+		m.histograms[name] = h
+	}
+	return h
+}
+
+// CounterValue is one counter in a Snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeValue is one gauge in a Snapshot.
+type GaugeValue struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramValue is one histogram in a Snapshot.
+type HistogramValue struct {
+	Name   string  `json:"name"`
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	Counts []int   `json:"counts"`
+	Under  int     `json:"under"`
+	Over   int     `json:"over"`
+	Total  int     `json:"total"`
+}
+
+// Snapshot is a point-in-time copy of a registry, with every section sorted
+// by name so renderings are deterministic for a given set of values.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Snapshot copies the registry's current values.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var s Snapshot
+	for name, c := range m.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range m.gauges {
+		s.Gauges = append(s.Gauges, GaugeValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range m.histograms {
+		sh := h.snapshot()
+		s.Histograms = append(s.Histograms, HistogramValue{
+			Name: name, Lo: sh.Lo, Hi: sh.Hi, Counts: sh.Counts,
+			Under: sh.Under, Over: sh.Over, Total: sh.Total(),
+		})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Text renders the snapshot as stable "kind name value" lines.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "counter   %-28s %d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "gauge     %-28s %.6g\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "histogram %-28s n=%d under=%d over=%d range=[%g,%g) counts=%v\n",
+			h.Name, h.Total, h.Under, h.Over, h.Lo, h.Hi, h.Counts)
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON with deterministic ordering.
+func (s Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if m.Counter("a.count") != c {
+		t.Fatal("Counter did not return the existing handle")
+	}
+	g := m.Gauge("a.gauge")
+	if g.Value() != 0 {
+		t.Fatal("unset gauge not zero")
+	}
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+	if m.Gauge("a.gauge") != g {
+		t.Fatal("Gauge did not return the existing handle")
+	}
+}
+
+func TestHistogramRegistry(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("h", 0, 10, 5)
+	if m.Histogram("h", 0, 99, 2) != h {
+		t.Fatal("Histogram did not return the existing handle")
+	}
+	h.Observe(-1)
+	h.Observe(3)
+	h.Observe(100)
+	hv := m.Snapshot().Histograms[0]
+	if hv.Under != 1 || hv.Over != 1 || hv.Total != 3 {
+		t.Fatalf("histogram snapshot = %+v", hv)
+	}
+	if hv.Counts[1] != 1 { // 3 lands in [2,4)
+		t.Fatalf("counts = %v", hv.Counts)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram bounds did not panic")
+		}
+	}()
+	m.Histogram("bad", 5, 5, 3)
+}
+
+func TestMetricsConcurrency(t *testing.T) {
+	m := NewMetrics()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				m.Counter("shared").Inc()
+				m.Histogram("lat", 0, 1, 10).Observe(0.5)
+				m.Gauge("last").Set(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.Counters[0].Value != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", s.Counters[0].Value, workers*perWorker)
+	}
+	if s.Histograms[0].Total != workers*perWorker {
+		t.Fatalf("histogram total = %d", s.Histograms[0].Total)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		m := NewMetrics()
+		// Insert in shuffled order; the snapshot must sort by name.
+		for _, n := range []string{"z.c", "a.c", "m.c"} {
+			m.Counter(n).Add(7)
+		}
+		m.Gauge("b.g").Set(1)
+		m.Gauge("a.g").Set(2)
+		m.Histogram("h.one", 0, 4, 2).Observe(1)
+		return m.Snapshot()
+	}
+	a, b := build(), build()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("snapshots differ:\n%+v\n%+v", a, b)
+	}
+	names := []string{a.Counters[0].Name, a.Counters[1].Name, a.Counters[2].Name}
+	if !reflect.DeepEqual(names, []string{"a.c", "m.c", "z.c"}) {
+		t.Fatalf("counters not sorted: %v", names)
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, _ := b.JSON()
+	if string(aj) != string(bj) {
+		t.Fatal("JSON renderings differ")
+	}
+	var round Snapshot
+	if err := json.Unmarshal(aj, &round); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(round, a) {
+		t.Fatal("JSON round trip lost data")
+	}
+	text := a.Text()
+	for _, want := range []string{"counter   a.c", "gauge     b.g", "histogram h.one", "n=1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Text() missing %q:\n%s", want, text)
+		}
+	}
+	if text != b.Text() {
+		t.Fatal("Text renderings differ")
+	}
+}

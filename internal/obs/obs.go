@@ -1,0 +1,117 @@
+// Package obs is the observability layer: typed events emitted by the
+// iterative engine, a lock-cheap metrics registry, and pluggable sinks
+// (JSONL trace writer, in-memory collector, metrics bridge). It exists so
+// performance work on the engine, heuristics and Monte Carlo harness has a
+// measurable baseline.
+//
+// Two rules keep observation safe:
+//
+//   - A nil Observer costs nothing. The engine guards every emission with a
+//     nil check, so the default path allocates and computes exactly what it
+//     did before the layer existed.
+//   - Wall-clock readings are observational only. Events and metrics may
+//     carry elapsed times, but no timing value may ever feed back into a
+//     scheduling decision — determinism flows exclusively from explicit
+//     seeds (see internal/rng).
+package obs
+
+// Event is one typed observation from the engine. The concrete types are
+// IterationStart, HeuristicDone, MachineFrozen and TraceDone.
+type Event interface {
+	// Kind is the stable machine-readable event name, e.g.
+	// "iteration_start".
+	Kind() string
+}
+
+// IterationStart is emitted before each heuristic run of the iterative
+// technique, including iteration 0 (the original mapping).
+type IterationStart struct {
+	// Iteration is 0 for the original mapping.
+	Iteration int `json:"iteration"`
+	// Tasks and Machines count the considered (active) sets.
+	Tasks    int `json:"tasks"`
+	Machines int `json:"machines"`
+}
+
+// Kind implements Event.
+func (IterationStart) Kind() string { return "iteration_start" }
+
+// HeuristicDone is emitted after each heuristic run, carrying the
+// iteration's outcome and the tie-breaking counters collected by the
+// instrumenting tiebreak policy wrapper.
+type HeuristicDone struct {
+	Iteration int    `json:"iteration"`
+	Heuristic string `json:"heuristic"`
+	// Makespan and MakespanMachine describe this iteration's mapping;
+	// MakespanMachine is a global machine index.
+	Makespan        float64 `json:"makespan"`
+	MakespanMachine int     `json:"makespan_machine"`
+	// TiebreakCalls counts tiebreak.Policy.Choose invocations, Ties those
+	// with more than one candidate, and Candidates the total candidates
+	// examined across all calls.
+	TiebreakCalls int64 `json:"tiebreak_calls"`
+	Ties          int64 `json:"ties"`
+	Candidates    int64 `json:"candidates"`
+	// ElapsedNS is the heuristic's wall-clock run time. Observational
+	// only — never an input to scheduling.
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// Kind implements Event.
+func (HeuristicDone) Kind() string { return "heuristic_done" }
+
+// MachineFrozen is emitted when an iteration removes a machine (with its
+// tasks) from consideration. The last surviving machine is never frozen, so
+// a full run emits one fewer MachineFrozen than iterations.
+type MachineFrozen struct {
+	Iteration int `json:"iteration"`
+	// Machine is the frozen machine's global index and Completion its
+	// final completion time.
+	Machine    int     `json:"machine"`
+	Completion float64 `json:"completion"`
+	// FrozenTasks is the number of tasks removed with the machine.
+	FrozenTasks int `json:"frozen_tasks"`
+}
+
+// Kind implements Event.
+func (MachineFrozen) Kind() string { return "machine_frozen" }
+
+// TraceDone is emitted once, after the technique finishes.
+type TraceDone struct {
+	Iterations       int     `json:"iterations"`
+	OriginalMakespan float64 `json:"original_makespan"`
+	FinalMakespan    float64 `json:"final_makespan"`
+	// ElapsedNS is the whole run's wall-clock time; observational only.
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// Kind implements Event.
+func (TraceDone) Kind() string { return "trace_done" }
+
+// Observer receives engine events. Implementations must be safe for the
+// goroutine that runs the engine; observers shared across concurrent runs
+// (e.g. one sink for all Monte Carlo trials) must be safe for concurrent
+// use, as the sinks in this package are.
+type Observer interface {
+	Observe(Event)
+}
+
+// Nop discards every event. The engine treats a nil Observer as "off"
+// without ever constructing events, so Nop exists only for call sites that
+// need a non-nil placeholder.
+type Nop struct{}
+
+// Observe implements Observer.
+func (Nop) Observe(Event) {}
+
+// Multi fans every event out to each non-nil member, in order.
+type Multi []Observer
+
+// Observe implements Observer.
+func (m Multi) Observe(e Event) {
+	for _, o := range m {
+		if o != nil {
+			o.Observe(e)
+		}
+	}
+}

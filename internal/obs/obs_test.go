@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEventKinds(t *testing.T) {
+	want := map[Event]string{
+		IterationStart{}: "iteration_start",
+		HeuristicDone{}:  "heuristic_done",
+		MachineFrozen{}:  "machine_frozen",
+		TraceDone{}:      "trace_done",
+	}
+	seen := map[string]bool{}
+	for e, kind := range want {
+		if got := e.Kind(); got != kind {
+			t.Errorf("%T.Kind() = %q, want %q", e, got, kind)
+		}
+		if seen[e.Kind()] {
+			t.Errorf("duplicate kind %q", e.Kind())
+		}
+		seen[e.Kind()] = true
+	}
+}
+
+func TestMultiFansOutAndSkipsNil(t *testing.T) {
+	var a, b Collector
+	m := Multi{&a, nil, &b, Nop{}}
+	m.Observe(IterationStart{Iteration: 0, Tasks: 3, Machines: 2})
+	m.Observe(TraceDone{Iterations: 1})
+	for _, c := range []*Collector{&a, &b} {
+		if got := c.Kinds(); !reflect.DeepEqual(got, []string{"iteration_start", "trace_done"}) {
+			t.Fatalf("kinds = %v", got)
+		}
+	}
+}
+
+func TestCollectorCopies(t *testing.T) {
+	var c Collector
+	c.Observe(MachineFrozen{Machine: 1})
+	events := c.Events()
+	c.Observe(MachineFrozen{Machine: 2})
+	if len(events) != 1 || c.Len() != 2 {
+		t.Fatalf("Events snapshot not isolated: len=%d collector=%d", len(events), c.Len())
+	}
+	if got := c.Events()[1].(MachineFrozen).Machine; got != 2 {
+		t.Fatalf("second event machine = %d", got)
+	}
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONL writes each event as one JSON object per line, in arrival order:
+//
+//	{"event":"iteration_start","iteration":0,"tasks":4,"machines":3}
+//
+// The "event" discriminator comes first, then the event's fields in their
+// declaration order, so the byte stream is deterministic for a
+// deterministic event sequence (wall-clock fields excepted). The first
+// write error is latched and reported by Err; later events are dropped.
+// JSONL is safe for concurrent use.
+type JSONL struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf bytes.Buffer
+	err error
+}
+
+// NewJSONL returns a JSONL sink writing to w.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{w: w} }
+
+// Observe implements Observer.
+func (j *JSONL) Observe(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	body, err := json.Marshal(e)
+	if err != nil {
+		j.err = err
+		return
+	}
+	j.buf.Reset()
+	j.buf.WriteString(`{"event":`)
+	kind, err := json.Marshal(e.Kind())
+	if err != nil {
+		j.err = err
+		return
+	}
+	j.buf.Write(kind)
+	if len(body) > 2 { // body is "{...}"; splice its fields after the kind
+		j.buf.WriteByte(',')
+		j.buf.Write(body[1:])
+	} else {
+		j.buf.WriteByte('}')
+	}
+	j.buf.WriteByte('\n')
+	if _, err := j.w.Write(j.buf.Bytes()); err != nil {
+		j.err = err
+	}
+}
+
+// Err returns the first error encountered while encoding or writing.
+func (j *JSONL) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Collector buffers events in memory, for tests and programmatic
+// inspection. It is safe for concurrent use.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Observe implements Observer.
+func (c *Collector) Observe(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a copy of the collected events in arrival order.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Kinds returns the Kind of every collected event, in arrival order.
+func (c *Collector) Kinds() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, len(c.events))
+	for i, e := range c.events {
+		out[i] = e.Kind()
+	}
+	return out
+}
+
+// Len returns the number of collected events.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// metricsObserver folds engine events into a Metrics registry under the
+// "engine." namespace.
+type metricsObserver struct {
+	iterations    *Counter
+	traces        *Counter
+	frozen        *Counter
+	tiebreakCalls *Counter
+	ties          *Counter
+	candidates    *Counter
+	lastOriginal  *Gauge
+	lastFinal     *Gauge
+	heuristicMS   *Histogram
+}
+
+// NewMetricsObserver returns an Observer that maintains the canonical
+// engine metrics in m: counters engine.iterations, engine.traces,
+// engine.machines_frozen, engine.tiebreak_calls, engine.ties,
+// engine.tiebreak_candidates; gauges engine.last_original_makespan,
+// engine.last_final_makespan; and the wall-clock histogram
+// engine.heuristic_ms (observational only).
+func NewMetricsObserver(m *Metrics) Observer {
+	return &metricsObserver{
+		iterations:    m.Counter("engine.iterations"),
+		traces:        m.Counter("engine.traces"),
+		frozen:        m.Counter("engine.machines_frozen"),
+		tiebreakCalls: m.Counter("engine.tiebreak_calls"),
+		ties:          m.Counter("engine.ties"),
+		candidates:    m.Counter("engine.tiebreak_candidates"),
+		lastOriginal:  m.Gauge("engine.last_original_makespan"),
+		lastFinal:     m.Gauge("engine.last_final_makespan"),
+		heuristicMS:   m.Histogram("engine.heuristic_ms", 0, 250, 25),
+	}
+}
+
+// Observe implements Observer.
+func (o *metricsObserver) Observe(e Event) {
+	switch ev := e.(type) {
+	case IterationStart:
+		o.iterations.Inc()
+	case HeuristicDone:
+		o.tiebreakCalls.Add(ev.TiebreakCalls)
+		o.ties.Add(ev.Ties)
+		o.candidates.Add(ev.Candidates)
+		o.heuristicMS.Observe(float64(ev.ElapsedNS) / 1e6)
+	case MachineFrozen:
+		o.frozen.Inc()
+	case TraceDone:
+		o.traces.Inc()
+		o.lastOriginal.Set(ev.OriginalMakespan)
+		o.lastFinal.Set(ev.FinalMakespan)
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestJSONLFormat(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Observe(IterationStart{Iteration: 0, Tasks: 4, Machines: 3})
+	j.Observe(HeuristicDone{Iteration: 0, Heuristic: "min-min", Makespan: 7.5, MakespanMachine: 2,
+		TiebreakCalls: 9, Ties: 2, Candidates: 11, ElapsedNS: 1234})
+	j.Observe(MachineFrozen{Iteration: 0, Machine: 2, Completion: 7.5, FrozenTasks: 2})
+	j.Observe(TraceDone{Iterations: 3, OriginalMakespan: 7.5, FinalMakespan: 7.5, ElapsedNS: 9999})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), buf.String())
+	}
+	wantPrefix := []string{
+		`{"event":"iteration_start","iteration":0,"tasks":4,"machines":3}`,
+		`{"event":"heuristic_done","iteration":0,"heuristic":"min-min","makespan":7.5,"makespan_machine":2,"tiebreak_calls":9,"ties":2,"candidates":11,"elapsed_ns":1234}`,
+		`{"event":"machine_frozen","iteration":0,"machine":2,"completion":7.5,"frozen_tasks":2}`,
+		`{"event":"trace_done","iterations":3,"original_makespan":7.5,"final_makespan":7.5,"elapsed_ns":9999}`,
+	}
+	for i, want := range wantPrefix {
+		if lines[i] != want {
+			t.Errorf("line %d:\n got %s\nwant %s", i, lines[i], want)
+		}
+		var decoded map[string]any
+		if err := json.Unmarshal([]byte(lines[i]), &decoded); err != nil {
+			t.Errorf("line %d not valid JSON: %v", i, err)
+		}
+	}
+}
+
+type failWriter struct{ after int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.after--
+	return len(p), nil
+}
+
+func TestJSONLLatchesFirstError(t *testing.T) {
+	j := NewJSONL(&failWriter{after: 1})
+	j.Observe(IterationStart{})
+	if err := j.Err(); err != nil {
+		t.Fatalf("first write failed: %v", err)
+	}
+	j.Observe(TraceDone{})
+	if j.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	j.Observe(TraceDone{}) // must not clear or replace the latched error
+	if got := j.Err(); got == nil || got.Error() != "disk full" {
+		t.Fatalf("latched error = %v", got)
+	}
+}
+
+func TestMetricsObserver(t *testing.T) {
+	m := NewMetrics()
+	o := NewMetricsObserver(m)
+	for iter := 0; iter < 3; iter++ {
+		o.Observe(IterationStart{Iteration: iter})
+		o.Observe(HeuristicDone{Iteration: iter, TiebreakCalls: 10, Ties: 4, Candidates: 12, ElapsedNS: 2e6})
+		if iter < 2 {
+			o.Observe(MachineFrozen{Iteration: iter})
+		}
+	}
+	o.Observe(TraceDone{Iterations: 3, OriginalMakespan: 9, FinalMakespan: 8})
+	s := m.Snapshot()
+	counts := map[string]int64{}
+	for _, c := range s.Counters {
+		counts[c.Name] = c.Value
+	}
+	for name, want := range map[string]int64{
+		"engine.iterations":          3,
+		"engine.traces":              1,
+		"engine.machines_frozen":     2,
+		"engine.tiebreak_calls":      30,
+		"engine.ties":                12,
+		"engine.tiebreak_candidates": 36,
+	} {
+		if counts[name] != want {
+			t.Errorf("%s = %d, want %d", name, counts[name], want)
+		}
+	}
+	gauges := map[string]float64{}
+	for _, g := range s.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	if gauges["engine.last_original_makespan"] != 9 || gauges["engine.last_final_makespan"] != 8 {
+		t.Errorf("makespan gauges = %v", gauges)
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].Total != 3 {
+		t.Errorf("heuristic_ms histogram = %+v", s.Histograms)
+	}
+}

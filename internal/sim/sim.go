@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/etc"
 	"repro/internal/heuristics"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -48,6 +50,14 @@ type Config struct {
 	Trials int
 	// Seed drives all randomness of the cell.
 	Seed uint64
+	// Metrics, when non-nil, receives run telemetry under the "sim."
+	// namespace: the per-trial wall-time histogram sim.trial_ms, the
+	// counter sim.trials, and the gauges sim.workers, sim.trials_per_sec
+	// and sim.worker_utilization (busy time over workers x wall time).
+	// Wall-clock readings are observational only: they never influence
+	// trial seeds, scheduling decisions or results, so a cell's Result is
+	// bit-identical with or without Metrics attached.
+	Metrics *obs.Metrics
 }
 
 // Label returns a compact cell identifier for reports.
@@ -113,14 +123,34 @@ func Run(cfg Config) (Result, error) {
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
+
+	// Telemetry is observational only: timings feed cfg.Metrics and nothing
+	// else, so the trial results are identical with or without it.
+	record := cfg.Metrics != nil
+	var trialMS *obs.Histogram
+	var start time.Time
+	busy := make([]time.Duration, workers) // per-worker busy time, no sharing
+	if record {
+		trialMS = cfg.Metrics.Histogram("sim.trial_ms", 0, 250, 25)
+		start = time.Now()
+	}
+
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = runTrial(cfg, seeds[i])
+				if record {
+					t0 := time.Now()
+					results[i] = runTrial(cfg, seeds[i])
+					d := time.Since(t0)
+					busy[w] += d
+					trialMS.Observe(d.Seconds() * 1e3)
+				} else {
+					results[i] = runTrial(cfg, seeds[i])
+				}
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < cfg.Trials; i++ {
 		jobs <- i
@@ -128,6 +158,19 @@ func Run(cfg Config) (Result, error) {
 	close(jobs)
 	wg.Wait()
 
+	if record {
+		wall := time.Since(start)
+		cfg.Metrics.Counter("sim.trials").Add(int64(cfg.Trials))
+		cfg.Metrics.Gauge("sim.workers").Set(float64(workers))
+		if wall > 0 {
+			cfg.Metrics.Gauge("sim.trials_per_sec").Set(float64(cfg.Trials) / wall.Seconds())
+			var total time.Duration
+			for _, b := range busy {
+				total += b
+			}
+			cfg.Metrics.Gauge("sim.worker_utilization").Set(total.Seconds() / (wall.Seconds() * float64(workers)))
+		}
+	}
 	return aggregate(cfg, results)
 }
 

@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/etc"
+	"repro/internal/obs"
 )
 
 func cfg() Config {
@@ -156,5 +158,51 @@ func TestIntegerGridWorkloads(t *testing.T) {
 	}
 	if r.Changed.Successes != 0 {
 		t.Fatal("deterministic MCT changed on grid workloads")
+	}
+}
+
+// TestMetricsObservationalOnly attaches a metrics registry to a cell and
+// checks (a) the telemetry is recorded and (b) the cell's scientific result
+// is identical with and without it — wall-clock never leaks into results.
+func TestMetricsObservationalOnly(t *testing.T) {
+	plain, err := Run(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg()
+	c.Metrics = obs.NewMetrics()
+	observed, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed.Config.Metrics = nil // only the registry pointer may differ
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatalf("metrics attachment changed the result:\n%+v\n%+v", plain, observed)
+	}
+
+	s := c.Metrics.Snapshot()
+	counters := map[string]int64{}
+	for _, cv := range s.Counters {
+		counters[cv.Name] = cv.Value
+	}
+	if counters["sim.trials"] != int64(c.Trials) {
+		t.Fatalf("sim.trials = %d, want %d", counters["sim.trials"], c.Trials)
+	}
+	gauges := map[string]float64{}
+	for _, g := range s.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	if gauges["sim.workers"] < 1 {
+		t.Fatalf("sim.workers = %g", gauges["sim.workers"])
+	}
+	if gauges["sim.trials_per_sec"] <= 0 {
+		t.Fatalf("sim.trials_per_sec = %g", gauges["sim.trials_per_sec"])
+	}
+	if u := gauges["sim.worker_utilization"]; u <= 0 || u > 1.0001 {
+		t.Fatalf("sim.worker_utilization = %g outside (0,1]", u)
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].Name != "sim.trial_ms" ||
+		s.Histograms[0].Total != c.Trials {
+		t.Fatalf("sim.trial_ms histogram = %+v", s.Histograms)
 	}
 }

@@ -136,6 +136,32 @@ func (r *Recorder) Name() string { return "recorded(" + r.Inner.Name() + ")" }
 // TieCount returns the number of genuine ties resolved so far.
 func (r *Recorder) TieCount() int { return len(r.Ties) }
 
+// Counting wraps a Policy and counts invocations, genuine ties and total
+// candidates examined, without retaining the candidate sets (Recorder keeps
+// them). It is the instrumentation wrapper the engine installs when an
+// observer is attached: delegation is exact, so wrapping never changes
+// which candidate is chosen, and Name reports the inner policy's name so
+// instrumented runs are indistinguishable in every record.
+type Counting struct {
+	Inner Policy
+	// Invocations counts Choose calls, Ties those with more than one
+	// candidate, and Candidates the total candidates across all calls.
+	Invocations, Ties, Candidates int64
+}
+
+// Choose implements Policy, counting before delegating.
+func (c *Counting) Choose(candidates []int) int {
+	c.Invocations++
+	c.Candidates += int64(len(candidates))
+	if len(candidates) > 1 {
+		c.Ties++
+	}
+	return c.Inner.Choose(candidates)
+}
+
+// Name implements Policy, reporting the inner policy's name.
+func (c *Counting) Name() string { return c.Inner.Name() }
+
 func mustNonEmpty(candidates []int) {
 	if len(candidates) == 0 {
 		panic("tiebreak: Choose called with no candidates")

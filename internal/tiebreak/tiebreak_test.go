@@ -174,3 +174,22 @@ func TestPolicyNames(t *testing.T) {
 		}
 	}
 }
+
+func TestCountingCountsAndDelegates(t *testing.T) {
+	c := &Counting{Inner: Last{}}
+	if got := c.Choose([]int{4}); got != 4 {
+		t.Fatalf("singleton choice = %d, want 4", got)
+	}
+	if got := c.Choose([]int{1, 5, 9}); got != 9 {
+		t.Fatalf("Counting did not delegate: got %d", got)
+	}
+	if got := c.Choose([]int{2, 7}); got != 7 {
+		t.Fatalf("Counting did not delegate: got %d", got)
+	}
+	if c.Invocations != 3 || c.Ties != 2 || c.Candidates != 6 {
+		t.Fatalf("counts = %d/%d/%d, want 3/2/6", c.Invocations, c.Ties, c.Candidates)
+	}
+	if got := c.Name(); got != "deterministic-last" {
+		t.Fatalf("Name() = %q, want the inner policy's name", got)
+	}
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Run the benchmark suite and append one labeled JSON record to BENCH_1.json
+# (one JSON object per line: label, UTC timestamp, go version, and ns/op +
+# allocs/op per benchmark), so perf changes are comparable across PRs.
+#
+# Usage:
+#
+#   scripts/bench.sh [label]        # label defaults to the current commit
+#   BENCH=BenchmarkIterate scripts/bench.sh tuning-run   # subset, labeled
+#
+# BENCH selects the -bench regexp (default: all benchmarks).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}"
+pattern="${BENCH:-.}"
+out_file="BENCH_1.json"
+
+raw=$(go test -bench="$pattern" -benchmem -run '^$' ./...)
+
+printf '%s\n' "$raw" | awk -v label="$label" \
+    -v utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v goversion="$(go env GOVERSION)" '
+BEGIN { n = 0 }
+$1 ~ /^Benchmark/ && $NF == "allocs/op" {
+    ns = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (ns == "") next
+    if (n > 0) recs = recs ","
+    recs = recs sprintf("{\"name\":\"%s\",\"ns_per_op\":%s,\"allocs_per_op\":%s}", $1, ns, allocs)
+    n++
+}
+END {
+    if (n == 0) { print "bench.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    printf "{\"label\":\"%s\",\"utc\":\"%s\",\"go\":\"%s\",\"benchmarks\":[%s]}\n", label, utc, goversion, recs
+}' >> "$out_file"
+
+echo "bench.sh: appended $(printf '%s\n' "$raw" | grep -c '^Benchmark') benchmarks to $out_file (label: $label)"

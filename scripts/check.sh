@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# The full repository gate in one command — CI and builders run the same
+# thing (see CLAUDE.md):
+#
+#   gofmt clean, go vet, build, full test suite, paper self-check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+echo "[ok  ] gofmt"
+
+go vet ./...
+echo "[ok  ] go vet"
+
+go build ./...
+echo "[ok  ] go build"
+
+go test ./...
+echo "[ok  ] go test"
+
+go run ./cmd/paperrepro
+echo "[ok  ] paperrepro"
