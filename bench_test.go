@@ -283,6 +283,32 @@ func BenchmarkIterativeTechnique(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchKernel measures single-mapping throughput of the
+// incremental completion-time kernel (internal/heuristics/kernel.go) across
+// workload shapes: the batch heuristics' per-round cost is now dominated by
+// the O(T) column refresh instead of the seed's O(T·M) full recomputation,
+// so growing the machine count should barely move ns/op.
+func BenchmarkBatchKernel(b *testing.B) {
+	for _, shape := range []struct{ tasks, machines int }{{256, 8}, {256, 32}, {512, 16}} {
+		in := literatureWorkload(b, shape.tasks, shape.machines)
+		for _, name := range []string{"min-min", "max-min", "duplex", "sufferage"} {
+			b.Run(fmt.Sprintf("%s-%dx%d", name, shape.tasks, shape.machines), func(b *testing.B) {
+				h, err := heuristics.ByName(name, 7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := h.Map(in, tiebreak.First{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkIterateScaling shows how the technique scales with machine count
 // (iterations are linear in machines; each Min-Min mapping is O(T^2 M)).
 func BenchmarkIterateScaling(b *testing.B) {

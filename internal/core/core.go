@@ -287,7 +287,7 @@ func IterateOpts(in *sched.Instance, h heuristics.Heuristic, policy PolicyFunc, 
 			tb = counting
 			heurStart = time.Now()
 		}
-		mp, err := runHeuristic(h, sub, tb, prev, activeTasks, activeMachines)
+		mp, selected, err := runHeuristic(h, sub, tb, prev, activeTasks, activeMachines)
 		if err != nil {
 			return nil, fmt.Errorf("core: iteration %d: %w", iter, err)
 		}
@@ -317,6 +317,7 @@ func IterateOpts(in *sched.Instance, h heuristics.Heuristic, policy PolicyFunc, 
 				TiebreakCalls:   counting.Invocations,
 				Ties:            counting.Ties,
 				Candidates:      counting.Candidates,
+				Selected:        selected,
 				ElapsedNS:       time.Since(heurStart).Nanoseconds(),
 			})
 		}
@@ -383,12 +384,19 @@ func IterateOpts(in *sched.Instance, h heuristics.Heuristic, policy PolicyFunc, 
 }
 
 // runHeuristic invokes h, seeding it with the previous iteration's mapping
-// (restricted to the active sets) when the heuristic supports seeding.
+// (restricted to the active sets) when the heuristic supports seeding. For
+// composite heuristics (heuristics.Selector, e.g. Duplex) the returned
+// string names the sub-heuristic whose mapping won, for the HeuristicDone
+// event; it is empty otherwise.
 func runHeuristic(h heuristics.Heuristic, sub *sched.Instance, tb tiebreak.Policy,
-	prev *Iteration, activeTasks, activeMachines []int) (sched.Mapping, error) {
+	prev *Iteration, activeTasks, activeMachines []int) (sched.Mapping, string, error) {
 	seedable, ok := h.(heuristics.Seedable)
 	if !ok || prev == nil {
-		return h.Map(sub, tb)
+		if sel, ok := h.(heuristics.Selector); ok {
+			return sel.MapSelect(sub, tb)
+		}
+		mp, err := h.Map(sub, tb)
+		return mp, "", err
 	}
 	// Build the seed in local coordinates. Every active task was mapped in
 	// the previous iteration to an active machine (the frozen machine's
@@ -405,15 +413,18 @@ func runHeuristic(h heuristics.Heuristic, sub *sched.Instance, tb tiebreak.Polic
 	for i, t := range activeTasks {
 		g, ok := prevAssign[t]
 		if !ok {
-			return h.Map(sub, tb) // defensive: no usable seed
+			mp, err := h.Map(sub, tb) // defensive: no usable seed
+			return mp, "", err
 		}
 		l, ok := machineLocal[g]
 		if !ok {
-			return h.Map(sub, tb)
+			mp, err := h.Map(sub, tb)
+			return mp, "", err
 		}
 		seed.Assign[i] = l
 	}
-	return seedable.MapSeeded(sub, tb, seed)
+	mp, err := seedable.MapSeeded(sub, tb, seed)
+	return mp, "", err
 }
 
 func ascending(n int) []int {

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/heuristics"
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// TestHeuristicDoneSelected checks that composite heuristics surface their
+// winning side in heuristic_done events: every Duplex iteration reports
+// "min-min" or "max-min", and non-composite heuristics leave the field
+// empty (so existing JSONL traces are byte-identical via omitempty).
+func TestHeuristicDoneSelected(t *testing.T) {
+	src := rng.New(21)
+	in := randomInstance(t, src, 12, 4)
+
+	var c obs.Collector
+	if _, err := IterateOpts(in, heuristics.Duplex{}, Deterministic(), Options{Observer: &c}); err != nil {
+		t.Fatal(err)
+	}
+	sawDone := 0
+	for _, e := range c.Events() {
+		hd, ok := e.(obs.HeuristicDone)
+		if !ok {
+			continue
+		}
+		sawDone++
+		if hd.Selected != "min-min" && hd.Selected != "max-min" {
+			t.Fatalf("duplex heuristic_done iteration %d: Selected = %q", hd.Iteration, hd.Selected)
+		}
+	}
+	if sawDone == 0 {
+		t.Fatal("no heuristic_done events collected")
+	}
+
+	var c2 obs.Collector
+	if _, err := IterateOpts(in, heuristics.MinMin{}, Deterministic(), Options{Observer: &c2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range c2.Events() {
+		if hd, ok := e.(obs.HeuristicDone); ok && hd.Selected != "" {
+			t.Fatalf("min-min heuristic_done iteration %d: Selected = %q, want empty", hd.Iteration, hd.Selected)
+		}
+	}
+}

@@ -109,18 +109,23 @@ func (m *Matrix) SubMatrix(tasks, machines []int) (*Matrix, error) {
 	if err := checkIndexSet(machines, m.Machines(), "machine"); err != nil {
 		return nil, err
 	}
+	// One backing array for all rows: Restrict runs once per engine
+	// iteration, so the submatrix copy is on the technique's hot path.
 	vs := make([][]float64, len(tasks))
+	backing := make([]float64, len(tasks)*len(machines))
 	for i, t := range tasks {
-		vs[i] = make([]float64, len(machines))
+		row := backing[i*len(machines) : (i+1)*len(machines)]
+		src := m.values[t]
 		for j, mm := range machines {
-			vs[i][j] = m.values[t][mm]
+			row[j] = src[mm]
 		}
+		vs[i] = row
 	}
 	return &Matrix{values: vs}, nil
 }
 
 func checkIndexSet(idx []int, n int, kind string) error {
-	seen := make(map[int]bool, len(idx))
+	seen := make([]bool, n)
 	for _, i := range idx {
 		if i < 0 || i >= n {
 			return fmt.Errorf("etc: %s index %d out of range [0,%d)", kind, i, n)

@@ -42,61 +42,15 @@ func (MaxMin) Map(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error)
 	return greedyTwoPhase(in, tb, true)
 }
 
-// greedyTwoPhase implements Min-Min (useMax=false) and Max-Min (useMax=true).
+// greedyTwoPhase implements Min-Min (useMax=false) and Max-Min (useMax=true)
+// through the incremental completion-time kernel (kernel.go); behavior is
+// bit-identical to referenceGreedyTwoPhase.
 func greedyTwoPhase(in *sched.Instance, tb tiebreak.Policy, useMax bool) (sched.Mapping, error) {
-	nT, nM := in.Tasks(), in.Machines()
-	mp := sched.NewMapping(nT)
+	k := twoPhasePool.Get().(*twoPhaseKernel)
+	defer twoPhasePool.Put(k)
 	ready := in.ReadyTimes()
-	unmapped := make([]bool, nT)
-	for i := range unmapped {
-		unmapped[i] = true
-	}
-	ct := make([]float64, nM)
-	bestCT := make([]float64, nT) // per-task minimum completion time
-	for remaining := nT; remaining > 0; remaining-- {
-		// Phase 1: per-task minimum completion time.
-		target := math.Inf(1)
-		if useMax {
-			target = math.Inf(-1)
-		}
-		for t := 0; t < nT; t++ {
-			if !unmapped[t] {
-				continue
-			}
-			completionRow(in, t, ready, ct)
-			mn := ct[0]
-			for _, v := range ct[1:] {
-				if v < mn {
-					mn = v
-				}
-			}
-			bestCT[t] = mn
-			if useMax {
-				target = math.Max(target, mn)
-			} else {
-				target = math.Min(target, mn)
-			}
-		}
-		// Phase 2: gather every tied (task, machine) pair achieving target.
-		var cands []int
-		for t := 0; t < nT; t++ {
-			if !unmapped[t] || !approxEqual(bestCT[t], target) {
-				continue
-			}
-			completionRow(in, t, ready, ct)
-			for m := 0; m < nM; m++ {
-				if approxEqual(ct[m], bestCT[t]) {
-					cands = append(cands, pairKey(t, m, nM))
-				}
-			}
-		}
-		key := tb.Choose(cands)
-		t, m := pairFromKey(key, nM)
-		mp.Assign[t] = m
-		unmapped[t] = false
-		ready[m] += in.ETC().At(t, m)
-	}
-	return mp, nil
+	k.init(in, ready)
+	return k.run(in, tb, useMax, ready)
 }
 
 // Duplex runs Min-Min and Max-Min on the same instance and returns whichever
@@ -107,27 +61,44 @@ type Duplex struct{}
 func (Duplex) Name() string { return "duplex" }
 
 // Map implements Heuristic.
-func (Duplex) Map(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
-	mn, err := (MinMin{}).Map(in, tb)
+func (d Duplex) Map(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+	mp, _, err := d.MapSelect(in, tb)
+	return mp, err
+}
+
+// MapSelect implements Selector: it is Map, additionally naming the side
+// ("min-min" or "max-min") whose mapping was returned. The two runs share a
+// single kernel cache build (the first phase over the initial ready times is
+// identical for both), and the policy is consumed by the Min-Min run first,
+// exactly as two independent Map calls would.
+func (Duplex) MapSelect(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, string, error) {
+	kMin := twoPhasePool.Get().(*twoPhaseKernel)
+	defer twoPhasePool.Put(kMin)
+	kMax := twoPhasePool.Get().(*twoPhaseKernel)
+	defer twoPhasePool.Put(kMax)
+	ready := in.ReadyTimes()
+	kMin.init(in, ready)
+	kMax.copyFrom(kMin)
+	mn, err := kMin.run(in, tb, false, ready)
 	if err != nil {
-		return sched.Mapping{}, err
+		return sched.Mapping{}, "", err
 	}
-	mx, err := (MaxMin{}).Map(in, tb)
+	mx, err := kMax.run(in, tb, true, in.ReadyTimes())
 	if err != nil {
-		return sched.Mapping{}, err
+		return sched.Mapping{}, "", err
 	}
 	smn, err := sched.Evaluate(in, mn)
 	if err != nil {
-		return sched.Mapping{}, err
+		return sched.Mapping{}, "", err
 	}
 	smx, err := sched.Evaluate(in, mx)
 	if err != nil {
-		return sched.Mapping{}, err
+		return sched.Mapping{}, "", err
 	}
 	if smx.Makespan() < smn.Makespan() {
-		return mx, nil
+		return mx, "max-min", nil
 	}
-	return mn, nil
+	return mn, "min-min", nil
 }
 
 // Sufferage (paper Figure 17, after Maheswaran et al. and Casanova et al.)
@@ -158,66 +129,83 @@ type SufferagePass struct {
 	Decisions []SufferageDecision
 }
 
-// Map implements Heuristic.
-func (s Sufferage) Map(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
-	mp, _, err := s.MapTrace(in, tb)
+// Map implements Heuristic. Unlike MapTrace it builds no decision records,
+// so the only per-call allocations are the mapping and the ready vector
+// (the pass-local state is pooled).
+func (Sufferage) Map(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+	mp, _, err := sufferageMap(in, tb, false)
 	return mp, err
 }
 
 // MapTrace is Map returning the per-pass decision trace.
 func (Sufferage) MapTrace(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, []SufferagePass, error) {
+	return sufferageMap(in, tb, true)
+}
+
+// sufferageMap is the Sufferage pass loop, decision-identical to
+// referenceSufferage; wantTrace gates building the decision records.
+func sufferageMap(in *sched.Instance, tb tiebreak.Policy, wantTrace bool) (sched.Mapping, []SufferagePass, error) {
 	nT, nM := in.Tasks(), in.Machines()
 	mp := sched.NewMapping(nT)
 	ready := in.ReadyTimes()
-	inList := make([]bool, nT)
-	for i := range inList {
-		inList[i] = true
+	s := sufferagePool.Get().(*sufferageScratch)
+	defer sufferagePool.Put(s)
+	s.inList = growBools(s.inList, nT)
+	for i := range s.inList {
+		s.inList[i] = true
 	}
+	s.holder = growInts(s.holder, nM) // task tentatively holding each machine, -1 if none
+	s.ct = growFloats(s.ct, nM)
+	s.sufferageOf = growFloats(s.sufferageOf, nT)
 	remaining := nT
-	ct := make([]float64, nM)
 	var passes []SufferagePass
 	for remaining > 0 {
-		holder := make([]int, nM) // task tentatively holding each machine, -1 if none
-		sufferageOf := make([]float64, nT)
-		for m := range holder {
-			holder[m] = -1
+		for m := range s.holder {
+			s.holder[m] = -1
 		}
 		var pass SufferagePass
 		// Snapshot of the list at pass start, ascending task order.
 		for t := 0; t < nT; t++ {
-			if !inList[t] {
+			if !s.inList[t] {
 				continue
 			}
-			completionRow(in, t, ready, ct)
-			m := tb.Choose(minIndices(ct))
-			suff := sufferageValue(ct)
-			sufferageOf[t] = suff
-			d := SufferageDecision{Task: t, MinCT: ct[m], Sufferage: suff, Machine: m}
-			switch prev := holder[m]; {
+			completionRow(in, t, ready, s.ct)
+			s.idx = minIndicesInto(s.ct, s.idx)
+			m := tb.Choose(s.idx)
+			suff := sufferageValue(s.ct)
+			s.sufferageOf[t] = suff
+			var outcome string
+			switch prev := s.holder[m]; {
 			case prev == -1:
-				holder[m] = t
-				inList[t] = false
-				d.Outcome = "assigned"
-			case sufferageOf[prev] < suff:
+				s.holder[m] = t
+				s.inList[t] = false
+				outcome = "assigned"
+			case s.sufferageOf[prev] < suff:
 				// Displace the weaker claim; it returns to the list.
-				inList[prev] = true
-				holder[m] = t
-				inList[t] = false
-				d.Outcome = "displaced"
+				s.inList[prev] = true
+				s.holder[m] = t
+				s.inList[t] = false
+				outcome = "displaced"
 			default:
-				d.Outcome = "rejected"
+				outcome = "rejected"
 			}
-			pass.Decisions = append(pass.Decisions, d)
+			if wantTrace {
+				pass.Decisions = append(pass.Decisions, SufferageDecision{
+					Task: t, MinCT: s.ct[m], Sufferage: suff, Machine: m, Outcome: outcome,
+				})
+			}
 		}
 		// Commit the pass: update ready times for all tentative holders.
-		for m, t := range holder {
+		for m, t := range s.holder {
 			if t >= 0 {
 				mp.Assign[t] = m
 				ready[m] += in.ETC().At(t, m)
 				remaining--
 			}
 		}
-		passes = append(passes, pass)
+		if wantTrace {
+			passes = append(passes, pass)
+		}
 	}
 	return mp, passes, nil
 }

@@ -1,0 +1,352 @@
+package heuristics
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/etc"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/tiebreak"
+)
+
+// Differential suite: the incremental completion-time kernel (kernel.go)
+// must be *bit-identical* to the seed implementations kept in reference.go —
+// the same mapping (exact Equal, not approx) on every instance, for every
+// tie-break policy, because the candidate sets presented to the policy must
+// match element for element. Instances deliberately mix tie-free float
+// workloads with small-integer workloads where ties are pervasive, zero and
+// non-zero initial ready times, and degenerate shapes (1 task, 1 machine).
+
+// diffInstance draws a random instance for trial; even trials use a small
+// integer grid so exact completion-time ties are common, odd trials use the
+// range-based float generator where ties are measure-zero.
+func diffInstance(t *testing.T, trial int) *sched.Instance {
+	t.Helper()
+	src := rng.New(uint64(1000 + trial))
+	tasks := 1 + src.Intn(24)
+	machines := 1 + src.Intn(8)
+	var m *etc.Matrix
+	if trial%2 == 0 {
+		vs := make([][]float64, tasks)
+		for i := range vs {
+			row := make([]float64, machines)
+			for j := range row {
+				row[j] = float64(1 + src.Intn(5)) // heavy exact ties
+			}
+			vs[i] = row
+		}
+		m = etc.MustNew(vs)
+	} else {
+		var err error
+		m, err = etc.GenerateRange(etc.RangeParams{
+			Tasks: tasks, Machines: machines, TaskHet: 100, MachineHet: 10,
+		}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ready []float64
+	if trial%3 == 0 {
+		ready = make([]float64, machines)
+		for j := range ready {
+			ready[j] = float64(src.Intn(4))
+		}
+	}
+	in, err := sched.NewInstance(m, ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// diffPolicies returns matched fresh policy pairs (one for the optimized
+// run, one for the reference run): stateful policies consume randomness per
+// Choose, so each side needs its own identically seeded instance.
+func diffPolicies(trial int) map[string][2]tiebreak.Policy {
+	seed := uint64(9000 + trial)
+	return map[string][2]tiebreak.Policy{
+		"first":         {tiebreak.First{}, tiebreak.First{}},
+		"last":          {tiebreak.Last{}, tiebreak.Last{}},
+		"seeded-random": {tiebreak.NewRandom(rng.New(seed)), tiebreak.NewRandom(rng.New(seed))},
+	}
+}
+
+// TestDifferentialBatchHeuristics pins optimized == reference, exactly, for
+// every batch heuristic across ~200 random instances and all policies.
+func TestDifferentialBatchHeuristics(t *testing.T) {
+	type side struct {
+		opt func(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error)
+		ref func(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error)
+	}
+	cases := map[string]side{
+		"min-min": {
+			opt: MinMin{}.Map,
+			ref: func(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+				return referenceGreedyTwoPhase(in, tb, false)
+			},
+		},
+		"max-min": {
+			opt: MaxMin{}.Map,
+			ref: func(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+				return referenceGreedyTwoPhase(in, tb, true)
+			},
+		},
+		"duplex": {
+			opt: Duplex{}.Map,
+			ref: referenceDuplex,
+		},
+		"sufferage": {
+			opt: Sufferage{}.Map,
+			ref: func(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+				mp, _, err := referenceSufferage(in, tb)
+				return mp, err
+			},
+		},
+	}
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		in := diffInstance(t, trial)
+		for pname := range diffPolicies(trial) {
+			for hname, s := range cases {
+				// Fresh matched policies per heuristic, so the optimized and
+				// reference sides always see aligned random streams.
+				pp := diffPolicies(trial)[pname]
+				got, err := s.opt(in, pp[0])
+				if err != nil {
+					t.Fatalf("trial %d %s/%s: optimized: %v", trial, hname, pname, err)
+				}
+				want, err := s.ref(in, pp[1])
+				if err != nil {
+					t.Fatalf("trial %d %s/%s: reference: %v", trial, hname, pname, err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("trial %d %s/%s: optimized mapping %v != reference %v\n%dx%d instance",
+						trial, hname, pname, got.Assign, want.Assign, in.Tasks(), in.Machines())
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialTieCandidateSets goes one level deeper than mappings: the
+// exact candidate sets presented to the policy must match, pair for pair —
+// a kernel that found the same winner through differently ordered ties
+// would still break scripted policies and the paper's tie-path search.
+func TestDifferentialTieCandidateSets(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		in := diffInstance(t, 2*trial) // even trials: tie-heavy integer grids
+		for hname, pair := range map[string][2]func(*sched.Instance, tiebreak.Policy) (sched.Mapping, error){
+			"min-min": {MinMin{}.Map, func(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+				return referenceGreedyTwoPhase(in, tb, false)
+			}},
+			"max-min": {MaxMin{}.Map, func(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+				return referenceGreedyTwoPhase(in, tb, true)
+			}},
+			"sufferage": {Sufferage{}.Map, func(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+				mp, _, err := referenceSufferage(in, tb)
+				return mp, err
+			}},
+		} {
+			optRec := tiebreak.NewRecorder(tiebreak.First{})
+			refRec := tiebreak.NewRecorder(tiebreak.First{})
+			if _, err := pair[0](in, optRec); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := pair[1](in, refRec); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(optRec.Ties, refRec.Ties) {
+				t.Fatalf("trial %d %s: tie candidate sets diverge:\noptimized %v\nreference %v",
+					trial, hname, optRec.Ties, refRec.Ties)
+			}
+		}
+	}
+}
+
+// TestDifferentialSufferageTrace pins the optimized trace path against the
+// reference decision-for-decision (the golden file
+// cmd/itersched/testdata/paper_sufferage.golden renders from this trace).
+func TestDifferentialSufferageTrace(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		in := diffInstance(t, trial)
+		got, gotPasses, err := (Sufferage{}).MapTrace(in, tiebreak.First{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantPasses, err := referenceSufferage(in, tiebreak.First{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: mapping %v != %v", trial, got.Assign, want.Assign)
+		}
+		if !reflect.DeepEqual(gotPasses, wantPasses) {
+			t.Fatalf("trial %d: passes diverge\noptimized %+v\nreference %+v", trial, gotPasses, wantPasses)
+		}
+	}
+}
+
+// TestDuplexMapSelectWinner checks MapSelect's reported winner against an
+// independent evaluation of both sides.
+func TestDuplexMapSelectWinner(t *testing.T) {
+	for trial := 0; trial < 60; trial++ {
+		in := diffInstance(t, trial)
+		mp, winner, err := (Duplex{}).MapSelect(in, tiebreak.First{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mn, err := (MinMin{}).Map(in, tiebreak.First{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mx, err := (MaxMin{}).Map(in, tiebreak.First{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		smn, err := sched.Evaluate(in, mn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		smx, err := sched.Evaluate(in, mx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantMap := "min-min", mn
+		if smx.Makespan() < smn.Makespan() {
+			want, wantMap = "max-min", mx
+		}
+		if winner != want {
+			t.Fatalf("trial %d: winner %q, want %q (min-min %g vs max-min %g)",
+				trial, winner, want, smn.Makespan(), smx.Makespan())
+		}
+		if !mp.Equal(wantMap) {
+			t.Fatalf("trial %d: MapSelect mapping disagrees with %s mapping", trial, want)
+		}
+	}
+}
+
+// TestMinIndicesIntoMatchesMinIndices pins the scratch-buffer variant
+// against the allocating one, including near-ties at the Epsilon boundary.
+func TestMinIndicesIntoMatchesMinIndices(t *testing.T) {
+	src := rng.New(4242)
+	var buf []int
+	for trial := 0; trial < 500; trial++ {
+		vals := make([]float64, 1+src.Intn(9))
+		for i := range vals {
+			vals[i] = float64(1 + src.Intn(4))
+			if src.Intn(3) == 0 {
+				vals[i] += Epsilon / 2 // exercise the tolerance boundary
+			}
+		}
+		buf = minIndicesInto(vals, buf)
+		if want := minIndices(vals); !reflect.DeepEqual(append([]int(nil), buf...), want) {
+			t.Fatalf("vals %v: minIndicesInto %v != minIndices %v", vals, buf, want)
+		}
+	}
+	if minIndicesInto(nil, buf) != nil {
+		t.Fatal("minIndicesInto(nil) != nil")
+	}
+}
+
+// allocInstance builds a deterministic mid-size workload for the allocation
+// regression guards.
+func allocInstance(t *testing.T, tasks, machines int) *sched.Instance {
+	t.Helper()
+	m, err := etc.GenerateRange(etc.RangeParams{
+		Tasks: tasks, Machines: machines, TaskHet: 100, MachineHet: 10,
+	}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := sched.NewInstance(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestSufferageAllocs is the scratch-reuse regression guard (pattern:
+// TestNilObserverAddsNoAllocations in internal/core): with the pooled pass
+// state, Sufferage.Map may allocate only the mapping and the ready vector,
+// independent of instance size. The seed implementation allocated ~70 per
+// Map on this shape (and ~9.6k across one iterative-technique run).
+func TestSufferageAllocs(t *testing.T) {
+	in := allocInstance(t, 64, 8)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := (Sufferage{}).Map(in, tiebreak.First{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 3 steady-state allocations: Mapping.Assign, ReadyTimes, and the
+	// occasional pool refill; allow headroom for GC clearing the pool.
+	if allocs > 8 {
+		t.Fatalf("Sufferage.Map allocates %v per run, want <= 8", allocs)
+	}
+}
+
+// TestGreedyTwoPhaseAllocs guards the kernel's scratch reuse the same way.
+func TestGreedyTwoPhaseAllocs(t *testing.T) {
+	in := allocInstance(t, 64, 8)
+	for _, h := range []Heuristic{MinMin{}, MaxMin{}} {
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, err := h.Map(in, tiebreak.First{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 8 {
+			t.Fatalf("%s.Map allocates %v per run, want <= 8", h.Name(), allocs)
+		}
+	}
+}
+
+// TestKernelDegenerateShapes exercises the 1-task and 1-machine boundaries
+// explicitly (sufferageValue's single-machine convention, row slicing).
+func TestKernelDegenerateShapes(t *testing.T) {
+	for _, shape := range []struct{ tasks, machines int }{{1, 1}, {1, 5}, {6, 1}} {
+		vs := make([][]float64, shape.tasks)
+		for i := range vs {
+			vs[i] = make([]float64, shape.machines)
+			for j := range vs[i] {
+				vs[i][j] = float64(1 + (i+j)%3)
+			}
+		}
+		in, err := sched.NewInstance(etc.MustNew(vs), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range []Heuristic{MinMin{}, MaxMin{}, Duplex{}, Sufferage{}} {
+			mp, err := h.Map(in, tiebreak.First{})
+			if err != nil {
+				t.Fatalf("%s on %dx%d: %v", h.Name(), shape.tasks, shape.machines, err)
+			}
+			if err := mp.Validate(in); err != nil {
+				t.Fatalf("%s on %dx%d: %v", h.Name(), shape.tasks, shape.machines, err)
+			}
+		}
+	}
+}
+
+// TestKernelColumnRefreshExactness documents the ulp trap the kernel must
+// avoid: refreshing a cached completion time by adding the committed task's
+// ETC to the *cached sum* can differ from the reference's recomputed
+// etc+ready in the last bit. The kernel recomputes; this test demonstrates
+// the trap is real for our float workloads, so the discipline is guarded
+// against regression by the differential suite above.
+func TestKernelColumnRefreshExactness(t *testing.T) {
+	src := rng.New(99)
+	found := false
+	for trial := 0; trial < 20000 && !found; trial++ {
+		etcv := 1 + 99*src.Float64()
+		r0 := 10 * src.Float64()
+		delta := 1 + 9*src.Float64()
+		incremental := (etcv + r0) + delta
+		recomputed := etcv + (r0 + delta)
+		if incremental != recomputed {
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("no ulp divergence found in 20k draws (platform rounding?)")
+	}
+}

@@ -41,6 +41,17 @@ type Heuristic interface {
 	Map(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error)
 }
 
+// Selector is a composite Heuristic that runs several sub-heuristics and
+// returns one of their mappings. MapSelect additionally names the winner, so
+// the engine can surface the selection in its observability events instead
+// of silently swallowing it (Duplex implements this).
+type Selector interface {
+	Heuristic
+	// MapSelect is Map, additionally returning the stable name of the
+	// sub-heuristic whose mapping was selected.
+	MapSelect(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, string, error)
+}
+
 // Seedable is a Heuristic that can incorporate a previously found mapping,
 // guaranteeing the result is never worse (in makespan) than the seed. The
 // paper's Genitor implements this natively; Seeded adapts any Heuristic.
@@ -49,6 +60,29 @@ type Seedable interface {
 	// MapSeeded is Map with a starting solution. The returned mapping's
 	// makespan is at most the seed's.
 	MapSeeded(in *sched.Instance, tb tiebreak.Policy, seed sched.Mapping) (sched.Mapping, error)
+}
+
+// minIndicesInto is minIndices writing into buf (grown as needed, reused
+// across calls); the returned slice aliases buf. Candidate order and
+// tolerance semantics are identical to minIndices. Policies never retain the
+// candidate slice (Recorder copies it), so reuse is safe.
+func minIndicesInto(vals []float64, buf []int) []int {
+	if len(vals) == 0 {
+		return nil
+	}
+	buf = buf[:0]
+	mn := vals[0]
+	for _, v := range vals[1:] {
+		if v < mn {
+			mn = v
+		}
+	}
+	for i, v := range vals {
+		if approxEqual(v, mn) {
+			buf = append(buf, i)
+		}
+	}
+	return buf
 }
 
 // minIndices returns the indices of vals within Epsilon of the minimum, in

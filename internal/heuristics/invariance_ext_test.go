@@ -1,0 +1,65 @@
+package heuristics_test
+
+// External test package: it exercises the optimized kernel through the
+// iterative engine, which the in-package tests cannot import (core depends
+// on heuristics).
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/etc"
+	"repro/internal/heuristics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+)
+
+// TestOptimizedKernelPreservesInvarianceTheorems re-verifies the paper's
+// §3.2 theorems on top of the incremental kernel: with deterministic
+// tie-breaking, the iterative technique never changes a Min-Min or MCT
+// mapping, and the final makespan equals the original. The theorems are the
+// paper's load-bearing claims, so they double as an end-to-end check that
+// the kernel's candidate ordering is faithful inside the engine.
+func TestOptimizedKernelPreservesInvarianceTheorems(t *testing.T) {
+	src := rng.New(314)
+	for trial := 0; trial < 50; trial++ {
+		tasks, machines := 2+src.Intn(20), 2+src.Intn(6)
+		var m *etc.Matrix
+		if trial%2 == 0 {
+			vs := make([][]float64, tasks)
+			for i := range vs {
+				row := make([]float64, machines)
+				for j := range row {
+					row[j] = float64(1 + src.Intn(5)) // tie-heavy
+				}
+				vs[i] = row
+			}
+			m = etc.MustNew(vs)
+		} else {
+			var err error
+			m, err = etc.GenerateRange(etc.RangeParams{
+				Tasks: tasks, Machines: machines, TaskHet: 100, MachineHet: 10,
+			}, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		in, err := sched.NewInstance(m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range []heuristics.Heuristic{heuristics.MinMin{}, heuristics.MCT{}} {
+			tr, err := core.Iterate(in, h, core.Deterministic())
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, h.Name(), err)
+			}
+			if tr.Changed() {
+				t.Fatalf("trial %d: %s mapping changed under deterministic ties (theorem violation)", trial, h.Name())
+			}
+			if tr.MakespanIncreased() {
+				t.Fatalf("trial %d: %s makespan increased %g -> %g", trial, h.Name(),
+					tr.OriginalMakespan(), tr.FinalMakespan())
+			}
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package heuristics
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/sched"
+	"repro/internal/tiebreak"
+)
+
+// This file is the incremental completion-time kernel behind the batch
+// heuristics (Min-Min, Max-Min, Duplex). The seed implementation
+// (reference.go) recomputes every unmapped task's completion row twice per
+// round — O(T²·M) rows per mapping. The kernel exploits the structure of the
+// round update: committing a task to machine m advances only ready[m], so
+// only column m of the cached completion-time matrix changes, and a task's
+// cached row minimum needs re-scanning only when the refreshed entry *was*
+// that minimum (entries can only grow — ETC values are strictly positive and
+// float addition is monotone).
+//
+// The hard requirement is bit-identical behavior with reference.go:
+//
+//   - Column refreshes recompute ETC(t,m) + ready[m] with the exact same
+//     float additions the reference performs; they never accumulate a delta
+//     onto the cached value, which could differ in the last ulp.
+//   - Candidate pairs are gathered in the same ascending task-major order
+//     and compared with the same approxEqual tolerance, so every
+//     tiebreak.Policy sees exactly the candidate sets the reference
+//     presents. The unmapped-task list is kept sorted ascending for this.
+//   - The phase-1 fold uses plain < / > comparisons where the reference
+//     uses math.Min/math.Max: identical results, because completion times
+//     are positive and finite (no NaN, no signed-zero cases).
+//
+// differential_test.go pins optimized == reference across random instances,
+// seeds and policies.
+
+// twoPhaseKernel caches each unmapped task's completion row
+// CT(t,m) = ETC(t,m) + ready[m], the exact row minimum, and a row-major
+// copy of the ETC matrix (so hot loops touch flat slices, not the matrix
+// interface). Kernels are pooled (twoPhasePool) so steady-state mappings
+// reuse one scratch arena.
+type twoPhaseKernel struct {
+	nT, nM int
+	etc    []float64 // nT*nM row-major ETC copy
+	rows   []float64 // nT*nM row-major cached completion times
+	best   []float64 // per-task exact row minimum
+	order  []int     // unmapped task ids, ascending
+	cands  []int     // phase-2 candidate scratch, reused across rounds
+}
+
+var twoPhasePool = sync.Pool{New: func() any { return new(twoPhaseKernel) }}
+
+// growFloats returns s resliced to n, reallocating only when capacity is
+// insufficient; contents are unspecified.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// init builds the full cache from the given ready times (phase 1 of the
+// first round). Duplex shares one init between its Min-Min and Max-Min runs
+// via copyFrom.
+func (k *twoPhaseKernel) init(in *sched.Instance, ready []float64) {
+	nT, nM := in.Tasks(), in.Machines()
+	k.nT, k.nM = nT, nM
+	k.etc = growFloats(k.etc, nT*nM)
+	k.rows = growFloats(k.rows, nT*nM)
+	k.best = growFloats(k.best, nT)
+	k.order = growInts(k.order, nT)
+	k.cands = k.cands[:0]
+	etcm := in.ETC()
+	for t := 0; t < nT; t++ {
+		base := t * nM
+		erow := k.etc[base : base+nM]
+		row := k.rows[base : base+nM]
+		for m := 0; m < nM; m++ {
+			e := etcm.At(t, m)
+			erow[m] = e
+			row[m] = e + ready[m]
+		}
+		mn := row[0]
+		for _, v := range row[1:] {
+			if v < mn {
+				mn = v
+			}
+		}
+		k.best[t] = mn
+		k.order[t] = t
+	}
+}
+
+// copyFrom makes k an independent copy of o's cache state.
+func (k *twoPhaseKernel) copyFrom(o *twoPhaseKernel) {
+	k.nT, k.nM = o.nT, o.nM
+	n := o.nT * o.nM
+	k.etc = growFloats(k.etc, n)
+	copy(k.etc, o.etc[:n])
+	k.rows = growFloats(k.rows, n)
+	copy(k.rows, o.rows[:n])
+	k.best = growFloats(k.best, o.nT)
+	copy(k.best, o.best[:o.nT])
+	k.order = growInts(k.order, len(o.order))
+	copy(k.order, o.order)
+	k.cands = k.cands[:0]
+}
+
+// commit records that task was assigned to machine, after the caller
+// advanced ready[machine]: column machine is refreshed for every remaining
+// unmapped task and a row minimum re-scanned only when the stale entry was
+// that minimum. Refreshed entries never shrink, so all other minima are
+// untouched — exactly the values a full recomputation would produce. Since
+// the loop already visits every remaining task, it also folds the next
+// round's phase-1 target (the exact min or max over the row minima, an
+// order-independent reduction) and returns it; the value is meaningless
+// once the list is empty.
+func (k *twoPhaseKernel) commit(task, machine int, rm float64, useMax bool) float64 {
+	nM := k.nM
+	// Drop task from the ascending unmapped list.
+	i := sort.SearchInts(k.order, task)
+	k.order = append(k.order[:i], k.order[i+1:]...)
+	target := math.Inf(1)
+	if useMax {
+		target = math.Inf(-1)
+	}
+	for _, t := range k.order {
+		base := t * nM
+		old := k.rows[base+machine]
+		k.rows[base+machine] = k.etc[base+machine] + rm
+		bt := k.best[t]
+		if old == bt {
+			row := k.rows[base : base+nM]
+			mn := row[0]
+			for _, v := range row[1:] {
+				if v < mn {
+					mn = v
+				}
+			}
+			bt = mn
+			k.best[t] = mn
+		}
+		if useMax {
+			if bt > target {
+				target = bt
+			}
+		} else if bt < target {
+			target = bt
+		}
+	}
+	return target
+}
+
+// run executes the two-phase greedy loop over the cache: Min-Min when
+// useMax is false, Max-Min when true. ready must be the vector init (or the
+// copied-from kernel's init) was built from; run advances it in place.
+func (k *twoPhaseKernel) run(in *sched.Instance, tb tiebreak.Policy, useMax bool, ready []float64) (sched.Mapping, error) {
+	nT, nM := k.nT, k.nM
+	mp := sched.NewMapping(nT)
+	// Phase 1 for the first round: fold the per-task minima into the
+	// target; later rounds get it from commit, whose refresh loop already
+	// visits every remaining task.
+	target := math.Inf(1)
+	if useMax {
+		target = math.Inf(-1)
+		for _, t := range k.order {
+			if k.best[t] > target {
+				target = k.best[t]
+			}
+		}
+	} else {
+		for _, t := range k.order {
+			if k.best[t] < target {
+				target = k.best[t]
+			}
+		}
+	}
+	for remaining := nT; remaining > 0; remaining-- {
+		// Phase 2: gather every tied (task, machine) pair achieving target
+		// from the cached rows — no recomputation. k.order ascending keeps
+		// the canonical task-major candidate order.
+		k.cands = k.cands[:0]
+		for _, t := range k.order {
+			bt := k.best[t]
+			if !approxEqual(bt, target) {
+				continue
+			}
+			base := t * nM
+			row := k.rows[base : base+nM]
+			for m := 0; m < nM; m++ {
+				if approxEqual(row[m], bt) {
+					k.cands = append(k.cands, base+m) // == pairKey(t, m, nM)
+				}
+			}
+		}
+		key := tb.Choose(k.cands)
+		t, m := pairFromKey(key, nM)
+		mp.Assign[t] = m
+		ready[m] += k.etc[t*nM+m]
+		target = k.commit(t, m, ready[m], useMax)
+	}
+	return mp, nil
+}
+
+// sufferageScratch is the pooled pass-local state of the Sufferage loop: the
+// seed implementation allocated holder and sufferageOf per pass and a fresh
+// minIndices slice per task examination (the dominant share of its ~9.6k
+// allocs/op under the iterative technique).
+type sufferageScratch struct {
+	inList      []bool
+	holder      []int
+	idx         []int // minIndicesInto buffer, reused across examinations
+	ct          []float64
+	sufferageOf []float64
+}
+
+var sufferagePool = sync.Pool{New: func() any { return new(sufferageScratch) }}

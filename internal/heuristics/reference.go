@@ -1,0 +1,163 @@
+package heuristics
+
+import (
+	"math"
+
+	"repro/internal/sched"
+	"repro/internal/tiebreak"
+)
+
+// This file preserves the pre-kernel batch-heuristic implementations,
+// verbatim, as the behavioral oracle for the incremental completion-time
+// kernel in kernel.go. The optimized paths must be *bit-identical* to these:
+// same candidate sets in the same order presented to the tiebreak.Policy,
+// same approxEqual tolerance semantics, same mapping on every instance. The
+// differential tests in differential_test.go pin optimized == reference
+// across random instances, seeds and tie-break policies; do not modify these
+// functions when changing the kernel — they are the spec.
+
+// referenceGreedyTwoPhase is the seed O(T²·M)-per-mapping implementation of
+// Min-Min (useMax=false) and Max-Min (useMax=true): every round recomputes
+// every unmapped task's completion row from scratch, twice (once in each
+// phase).
+func referenceGreedyTwoPhase(in *sched.Instance, tb tiebreak.Policy, useMax bool) (sched.Mapping, error) {
+	nT, nM := in.Tasks(), in.Machines()
+	mp := sched.NewMapping(nT)
+	ready := in.ReadyTimes()
+	unmapped := make([]bool, nT)
+	for i := range unmapped {
+		unmapped[i] = true
+	}
+	ct := make([]float64, nM)
+	bestCT := make([]float64, nT) // per-task minimum completion time
+	for remaining := nT; remaining > 0; remaining-- {
+		// Phase 1: per-task minimum completion time.
+		target := math.Inf(1)
+		if useMax {
+			target = math.Inf(-1)
+		}
+		for t := 0; t < nT; t++ {
+			if !unmapped[t] {
+				continue
+			}
+			completionRow(in, t, ready, ct)
+			mn := ct[0]
+			for _, v := range ct[1:] {
+				if v < mn {
+					mn = v
+				}
+			}
+			bestCT[t] = mn
+			if useMax {
+				target = math.Max(target, mn)
+			} else {
+				target = math.Min(target, mn)
+			}
+		}
+		// Phase 2: gather every tied (task, machine) pair achieving target.
+		var cands []int
+		for t := 0; t < nT; t++ {
+			if !unmapped[t] || !approxEqual(bestCT[t], target) {
+				continue
+			}
+			completionRow(in, t, ready, ct)
+			for m := 0; m < nM; m++ {
+				if approxEqual(ct[m], bestCT[t]) {
+					cands = append(cands, pairKey(t, m, nM))
+				}
+			}
+		}
+		key := tb.Choose(cands)
+		t, m := pairFromKey(key, nM)
+		mp.Assign[t] = m
+		unmapped[t] = false
+		ready[m] += in.ETC().At(t, m)
+	}
+	return mp, nil
+}
+
+// referenceDuplex is the seed Duplex: two independent full heuristic runs
+// (the policy consumed by the Min-Min run first, then the Max-Min run) and
+// the smaller makespan wins, Min-Min on a tie.
+func referenceDuplex(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, error) {
+	mn, err := referenceGreedyTwoPhase(in, tb, false)
+	if err != nil {
+		return sched.Mapping{}, err
+	}
+	mx, err := referenceGreedyTwoPhase(in, tb, true)
+	if err != nil {
+		return sched.Mapping{}, err
+	}
+	smn, err := sched.Evaluate(in, mn)
+	if err != nil {
+		return sched.Mapping{}, err
+	}
+	smx, err := sched.Evaluate(in, mx)
+	if err != nil {
+		return sched.Mapping{}, err
+	}
+	if smx.Makespan() < smn.Makespan() {
+		return mx, nil
+	}
+	return mn, nil
+}
+
+// referenceSufferage is the seed Sufferage pass loop, allocating its
+// pass-local slices (holder, sufferageOf) and the per-task minIndices result
+// afresh each time.
+func referenceSufferage(in *sched.Instance, tb tiebreak.Policy) (sched.Mapping, []SufferagePass, error) {
+	nT, nM := in.Tasks(), in.Machines()
+	mp := sched.NewMapping(nT)
+	ready := in.ReadyTimes()
+	inList := make([]bool, nT)
+	for i := range inList {
+		inList[i] = true
+	}
+	remaining := nT
+	ct := make([]float64, nM)
+	var passes []SufferagePass
+	for remaining > 0 {
+		holder := make([]int, nM) // task tentatively holding each machine, -1 if none
+		sufferageOf := make([]float64, nT)
+		for m := range holder {
+			holder[m] = -1
+		}
+		var pass SufferagePass
+		// Snapshot of the list at pass start, ascending task order.
+		for t := 0; t < nT; t++ {
+			if !inList[t] {
+				continue
+			}
+			completionRow(in, t, ready, ct)
+			m := tb.Choose(minIndices(ct))
+			suff := sufferageValue(ct)
+			sufferageOf[t] = suff
+			d := SufferageDecision{Task: t, MinCT: ct[m], Sufferage: suff, Machine: m}
+			switch prev := holder[m]; {
+			case prev == -1:
+				holder[m] = t
+				inList[t] = false
+				d.Outcome = "assigned"
+			case sufferageOf[prev] < suff:
+				// Displace the weaker claim; it returns to the list.
+				inList[prev] = true
+				holder[m] = t
+				inList[t] = false
+				d.Outcome = "displaced"
+			default:
+				d.Outcome = "rejected"
+			}
+			pass.Decisions = append(pass.Decisions, d)
+		}
+		// Commit the pass: update ready times for all tentative holders.
+		for m, t := range holder {
+			if t >= 0 {
+				mp.Assign[t] = m
+				ready[m] += in.ETC().At(t, m)
+				remaining--
+			}
+		}
+		passes = append(passes, pass)
+	}
+	return mp, passes, nil
+}

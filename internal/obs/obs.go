@@ -52,6 +52,10 @@ type HeuristicDone struct {
 	TiebreakCalls int64 `json:"tiebreak_calls"`
 	Ties          int64 `json:"ties"`
 	Candidates    int64 `json:"candidates"`
+	// Selected names the sub-heuristic whose mapping a composite heuristic
+	// returned (e.g. "min-min" or "max-min" for duplex, which otherwise
+	// swallows which side won); empty for non-composite heuristics.
+	Selected string `json:"selected,omitempty"`
 	// ElapsedNS is the heuristic's wall-clock run time. Observational
 	// only — never an input to scheduling.
 	ElapsedNS int64 `json:"elapsed_ns"`

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Compare the last two records in BENCH_1.json and flag ns/op regressions on
+# the batch-heuristic benchmarks. Pure bash + awk, no dependencies.
+#
+# Usage:
+#
+#   scripts/benchdiff.sh [file]          # file defaults to BENCH_1.json
+#   THRESHOLD=10 scripts/benchdiff.sh    # custom regression threshold (%)
+#   PATTERN='.' scripts/benchdiff.sh     # gate every benchmark, not just batch
+#
+# Prints a before/after table for every benchmark present in both records
+# whose name matches PATTERN, and exits 1 if any matched benchmark's ns/op
+# regressed by more than THRESHOLD percent (default 20). The default PATTERN
+# covers the batch-heuristic hot paths this repo's perf work targets.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+file="${1:-BENCH_1.json}"
+threshold="${THRESHOLD:-20}"
+pattern="${PATTERN:-min-min|max-min|duplex|sufferage|minmin|BatchKernel}"
+
+if [ ! -f "$file" ]; then
+    echo "benchdiff: $file not found" >&2
+    exit 2
+fi
+if [ "$(wc -l < "$file")" -lt 2 ]; then
+    echo "benchdiff: $file has fewer than two records; nothing to compare" >&2
+    exit 2
+fi
+
+tail -n 2 "$file" | awk -v threshold="$threshold" -v pattern="$pattern" '
+# Each record is one JSON line written by bench.sh with a fixed field
+# layout: {"label":"...","utc":"...","go":"...","benchmarks":[
+# {"name":"...","ns_per_op":N,"allocs_per_op":M},...]}. Parse by scanning
+# the benchmark objects; no general JSON machinery needed.
+function parse(line, ns, labels, rec,    rest, seg, name, val) {
+    if (match(line, /"label":"[^"]*"/)) {
+        labels[rec] = substr(line, RSTART + 9, RLENGTH - 10)
+    }
+    rest = line
+    while (match(rest, /\{"name":"[^"]*","ns_per_op":[0-9.eE+-]+/)) {
+        seg = substr(rest, RSTART, RLENGTH)
+        rest = substr(rest, RSTART + RLENGTH)
+        match(seg, /"name":"[^"]*"/)
+        name = substr(seg, RSTART + 8, RLENGTH - 9)
+        match(seg, /"ns_per_op":[0-9.eE+-]+/)
+        val = substr(seg, RSTART + 12, RLENGTH - 12) + 0
+        ns[rec "," name] = val
+        names[name] = 1
+    }
+}
+NR == 1 { old_line = $0 }
+NR == 2 { new_line = $0 }
+END {
+    parse(old_line, ns, labels, "old")
+    parse(new_line, ns, labels, "new")
+    printf "benchdiff: %s -> %s (threshold %s%%, pattern %s)\n\n", \
+        labels["old"], labels["new"], threshold, pattern
+    printf "%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+    regressions = 0
+    compared = 0
+    for (name in names) {
+        if (name !~ pattern) continue
+        o = ns["old" "," name]; n = ns["new" "," name]
+        if (o == "" || n == "" || o == 0) continue
+        compared++
+        delta = (n - o) * 100.0 / o
+        flag = ""
+        if (delta > threshold) { flag = "  REGRESSION"; regressions++ }
+        printf "%-52s %14.0f %14.0f %+8.1f%%%s\n", name, o, n, delta, flag
+    }
+    if (compared == 0) {
+        print "\nbenchdiff: no benchmark matched in both records" > "/dev/stderr"
+        exit 2
+    }
+    if (regressions > 0) {
+        printf "\nbenchdiff: %d benchmark(s) regressed more than %s%% ns/op\n", \
+            regressions, threshold > "/dev/stderr"
+        exit 1
+    }
+    printf "\nbenchdiff: ok (%d benchmarks within %s%%)\n", compared, threshold
+}'

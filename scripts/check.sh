@@ -23,5 +23,8 @@ echo "[ok  ] go build"
 go test ./...
 echo "[ok  ] go test"
 
+go test -race ./internal/...
+echo "[ok  ] go test -race (internal)"
+
 go run ./cmd/paperrepro
 echo "[ok  ] paperrepro"
