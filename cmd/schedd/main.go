@@ -1,0 +1,267 @@
+// Command schedd is the long-running HTTP scheduling daemon: the
+// repository's heuristics and iterative technique served online over JSON,
+// with a bounded request queue (429 on overload), a worker pool, an LRU
+// result cache and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	schedd [-addr 127.0.0.1:8080] [-queue 64] [-workers N] [-cache 256]
+//	       [-timeout 5s] [-drain-timeout 10s] [-access-log requests.jsonl]
+//	schedd -selfcheck
+//
+// Endpoints:
+//
+//	POST /v1/map      one heuristic run        (serve.Request -> serve.MapResponse)
+//	POST /v1/iterate  the iterative technique  (serve.Request -> serve.IterateResponse)
+//	GET  /healthz     liveness + queue state; 503 while draining
+//	GET  /metricz     serve.* metrics snapshot (JSON; ?format=text for text)
+//
+// Responses are deterministic in the request: same matrix, heuristic, tie
+// policy and seed give byte-identical bodies, cached or computed. -selfcheck
+// starts the daemon on an ephemeral port, replays the pinned Table-1
+// Min-Min trace over real HTTP (twice: computed, then cached), verifies
+// both bodies bit-for-bit, drains, and exits 0 — the smoke test run by
+// scripts/check.sh.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("schedd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks an ephemeral port)")
+		queue        = fs.Int("queue", 0, "pending-request queue depth before 429 shedding (0 = default)")
+		workers      = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		cache        = fs.Int("cache", 0, "LRU result-cache entries (0 = default, negative disables)")
+		timeout      = fs.Duration("timeout", 0, "per-request deadline cap (0 = default 5s)")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "how long to wait for in-flight requests on shutdown")
+		accessLog    = fs.String("access-log", "", "append request_done events as JSONL to this path")
+		selfcheck    = fs.Bool("selfcheck", false, "serve on an ephemeral port, verify the pinned Table-1 trace end to end, drain, exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := serve.Options{
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		CacheEntries:   *cache,
+		RequestTimeout: *timeout,
+	}
+	var logSink *obs.JSONL
+	if *accessLog != "" {
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		logSink = obs.NewJSONL(f)
+		opts.Observer = logSink
+	}
+	srv := serve.NewServer(opts)
+
+	var err error
+	if *selfcheck {
+		err = selfCheck(srv, stdout)
+	} else {
+		err = serveForever(srv, *addr, *drainTimeout, stdout)
+	}
+	if err != nil {
+		return err
+	}
+	if logSink != nil {
+		if err := logSink.Err(); err != nil {
+			return fmt.Errorf("writing -access-log: %w", err)
+		}
+	}
+	return nil
+}
+
+// serveForever listens on addr and serves until SIGTERM/SIGINT, then drains:
+// the listener stops accepting, in-flight requests finish (bounded by
+// drainTimeout), the worker pool exits.
+func serveForever(srv *serve.Server, addr string, drainTimeout time.Duration, stdout io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "schedd: listening on http://%s (%s)\n", ln.Addr(), srv)
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "schedd: signal received, draining")
+	sctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := srv.Drain(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(stdout, "schedd: drained")
+	return nil
+}
+
+// selfCheck exercises the whole service end to end over a real TCP
+// listener: the pinned Table-1 Min-Min matrix through /v1/iterate (computed
+// then cached, byte-identical), /healthz, /metricz, and a graceful drain.
+// Everything checked is deterministic; only [ok  ] lines are printed.
+func selfCheck(srv *serve.Server, stdout io.Writer) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(stdout, "schedd: selfcheck against %s\n", base)
+
+	if err := expectStatus(http.Get(base + "/healthz")); err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	fmt.Fprintln(stdout, "[ok  ] healthz")
+
+	// The pinned Table-1 matrix (experiments.MinMinExampleETC): min-min
+	// under deterministic ties gives machine completions (5, 4, 2), and by
+	// the paper's invariance theorem the iterative technique changes
+	// nothing: final == original, makespan 5, every machine unchanged.
+	reqBody, err := json.Marshal(serve.Request{
+		ETC:       experiments.MinMinExampleETC().Values(),
+		Heuristic: "min-min",
+		Ties:      "det",
+		Seed:      1,
+	})
+	if err != nil {
+		return err
+	}
+	first, firstHdr, err := postIterate(base, reqBody)
+	if err != nil {
+		return err
+	}
+	var ir serve.IterateResponse
+	if err := json.Unmarshal(first, &ir); err != nil {
+		return fmt.Errorf("decoding /v1/iterate response: %w", err)
+	}
+	switch {
+	case ir.OriginalMakespan != 5 || ir.FinalMakespan != 5:
+		return fmt.Errorf("table-1 makespan %g -> %g, want 5 -> 5", ir.OriginalMakespan, ir.FinalMakespan)
+	case ir.MakespanIncreased:
+		return fmt.Errorf("table-1 trace reports a makespan increase")
+	case len(ir.FinalCompletion) != 3 || ir.FinalCompletion[0] != 5 || ir.FinalCompletion[1] != 4 || ir.FinalCompletion[2] != 2:
+		return fmt.Errorf("table-1 final completions %v, want [5 4 2]", ir.FinalCompletion)
+	case len(ir.Iterations) != 3:
+		return fmt.Errorf("table-1 trace has %d iterations, want 3", len(ir.Iterations))
+	case strings.Join(ir.Outcomes, ",") != "unchanged,unchanged,unchanged":
+		return fmt.Errorf("table-1 outcomes %v, want all unchanged (invariance theorem)", ir.Outcomes)
+	case firstHdr != "miss":
+		return fmt.Errorf("first request X-Schedd-Cache %q, want miss", firstHdr)
+	}
+	fmt.Fprintln(stdout, "[ok  ] /v1/iterate reproduces the pinned Table-1 trace")
+
+	second, secondHdr, err := postIterate(base, reqBody)
+	if err != nil {
+		return err
+	}
+	if secondHdr != "hit" {
+		return fmt.Errorf("second request X-Schedd-Cache %q, want hit", secondHdr)
+	}
+	if !bytes.Equal(first, second) {
+		return fmt.Errorf("cached body differs from computed body")
+	}
+	fmt.Fprintln(stdout, "[ok  ] cache hit is byte-identical to the computed response")
+
+	resp, err := http.Get(base + "/metricz")
+	if err != nil {
+		return err
+	}
+	snapBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(snapBody, &snap); err != nil {
+		return fmt.Errorf("decoding /metricz: %w", err)
+	}
+	hits := int64(-1)
+	for _, c := range snap.Counters {
+		if c.Name == "serve.cache_hits" {
+			hits = c.Value
+		}
+	}
+	if hits != 1 {
+		return fmt.Errorf("metricz serve.cache_hits = %d, want 1", hits)
+	}
+	fmt.Fprintln(stdout, "[ok  ] metricz reports the cache hit")
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := srv.Drain(sctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(stdout, "[ok  ] drained")
+	return nil
+}
+
+func postIterate(base string, body []byte) (respBody []byte, cacheHeader string, err error) {
+	resp, err := http.Post(base+"/v1/iterate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	respBody, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("/v1/iterate: status %d: %s", resp.StatusCode, respBody)
+	}
+	return respBody, resp.Header.Get("X-Schedd-Cache"), nil
+}
+
+func expectStatus(resp *http.Response, err error) error {
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestSelfcheck runs the full end-to-end smoke in-process: ephemeral port,
+// pinned Table-1 /v1/iterate trace, byte-identical cache hit, drain.
+func TestSelfcheck(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-selfcheck"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run -selfcheck: %v\nstderr: %s", err, stderr.String())
+	}
+	for _, want := range []string{
+		"[ok  ] healthz",
+		"[ok  ] /v1/iterate reproduces the pinned Table-1 trace",
+		"[ok  ] cache hit is byte-identical to the computed response",
+		"[ok  ] metricz reports the cache hit",
+		"[ok  ] drained",
+	} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestSelfcheckWritesAccessLog checks the -access-log JSONL sink records
+// one request_done line per scheduling request.
+func TestSelfcheckWritesAccessLog(t *testing.T) {
+	path := t.TempDir() + "/requests.jsonl"
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-selfcheck", "-access-log", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// The selfcheck issues exactly two scheduling requests (miss then hit).
+	if len(lines) != 2 {
+		t.Fatalf("%d access-log lines, want 2:\n%s", len(lines), data)
+	}
+	for _, line := range lines {
+		if !strings.Contains(line, `"event":"request_done"`) || !strings.Contains(line, `"endpoint":"/v1/iterate"`) {
+			t.Fatalf("unexpected access-log line: %s", line)
+		}
+	}
+	if !strings.Contains(lines[0], `"cache":"miss"`) || !strings.Contains(lines[1], `"cache":"hit"`) {
+		t.Fatalf("access log should record a miss then a hit:\n%s", data)
+	}
+}
+
+// TestBadFlags pins the run() error contract: flag errors return an error
+// (after usage on stderr) and write nothing to stdout.
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-nope"}, &stdout, &stderr); err == nil {
+		t.Fatal("run with unknown flag: want error")
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("usage leaked to stdout: %s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "Usage") && !strings.Contains(stderr.String(), "-addr") {
+		t.Errorf("stderr missing usage text: %s", stderr.String())
+	}
+}

@@ -1,0 +1,216 @@
+// Command schedload is a seeded, deterministic load generator for schedd.
+// It generates a fixed set of distinct ETC workloads from an explicit seed,
+// fires them at a running daemon from concurrent clients, and reports
+// throughput and latency quantiles (via internal/stats) plus cache-hit
+// counts. Request contents are fully deterministic in the flags; the
+// latency and throughput numbers are wall-clock and observational only.
+//
+// With -verify (the default) it also asserts the service's core guarantee:
+// every response to an identical request body is byte-identical, whether it
+// was computed by a worker or served from the cache.
+//
+// Usage:
+//
+//	schedload -addr 127.0.0.1:8080 [-endpoint iterate|map] [-requests 64]
+//	          [-concurrency 8] [-tasks 16] [-machines 4] [-distinct 4]
+//	          [-class hihi-i] [-heuristic min-min] [-ties det] [-seed 1]
+//	          [-verify=true]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/etc"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "schedload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("schedload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", "", "schedd address, host:port or http://host:port (required)")
+		endpoint    = fs.String("endpoint", "iterate", "scheduling endpoint: iterate or map")
+		requests    = fs.Int("requests", 64, "total requests to send")
+		concurrency = fs.Int("concurrency", 8, "concurrent client goroutines")
+		tasks       = fs.Int("tasks", 16, "tasks per generated workload")
+		machines    = fs.Int("machines", 4, "machines per generated workload")
+		distinct    = fs.Int("distinct", 4, "distinct workloads cycled through the request stream")
+		classLabel  = fs.String("class", "hihi-i", "workload class label, e.g. hihi-c, lolo-i (see etc.AllClasses)")
+		heuristic   = fs.String("heuristic", "min-min", "mapping heuristic for every request")
+		ties        = fs.String("ties", "det", "tie-breaking policy: det or random")
+		seed        = fs.Uint64("seed", 1, "seed for workload generation and the requests' scheduling seed")
+		verify      = fs.Bool("verify", true, "assert byte-identical responses for identical request bodies")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -addr")
+	}
+	if *requests <= 0 || *concurrency <= 0 || *distinct <= 0 {
+		return fmt.Errorf("-requests, -concurrency and -distinct must be positive")
+	}
+	if *endpoint != "iterate" && *endpoint != "map" {
+		return fmt.Errorf("unknown -endpoint %q (want iterate or map)", *endpoint)
+	}
+	class, err := classByLabel(*classLabel)
+	if err != nil {
+		return err
+	}
+	base := *addr
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	url := base + "/v1/" + *endpoint
+
+	// The request stream is deterministic in the flags: one rng source,
+	// consumed workload by workload.
+	src := rng.New(*seed)
+	bodies := make([][]byte, *distinct)
+	for i := range bodies {
+		m, err := etc.GenerateClass(class, *tasks, *machines, src)
+		if err != nil {
+			return err
+		}
+		bodies[i], err = json.Marshal(serve.Request{
+			ETC:       m.Values(),
+			Heuristic: *heuristic,
+			Ties:      *ties,
+			Seed:      *seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	type outcome struct {
+		status    int
+		cache     string
+		body      []byte
+		err       error
+		latencyMS float64
+	}
+	outcomes := make([]outcome, *requests)
+	var next atomic.Int64
+	client := &http.Client{}
+	var wg sync.WaitGroup
+	start := time.Now() // wall-clock: throughput/latency reporting only
+	for c := 0; c < *concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *requests {
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i%*distinct]))
+				if err != nil {
+					outcomes[i] = outcome{err: err}
+					continue
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				outcomes[i] = outcome{
+					status:    resp.StatusCode,
+					cache:     resp.Header.Get("X-Schedd-Cache"),
+					body:      body,
+					err:       err,
+					latencyMS: float64(time.Since(t0)) / float64(time.Millisecond),
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var ok, errors, hits int
+	latencies := make([]float64, 0, *requests)
+	for i, o := range outcomes {
+		switch {
+		case o.err != nil:
+			errors++
+			fmt.Fprintf(stderr, "request %d: %v\n", i, o.err)
+		case o.status != http.StatusOK:
+			errors++
+			fmt.Fprintf(stderr, "request %d: status %d: %s", i, o.status, o.body)
+		default:
+			ok++
+			latencies = append(latencies, o.latencyMS)
+			if o.cache == "hit" {
+				hits++
+			}
+		}
+	}
+
+	fmt.Fprintf(stdout, "schedload: %d requests to %s (%dx%d %s, heuristic %s, ties %s, seed %d, %d distinct, concurrency %d)\n",
+		*requests, url, *tasks, *machines, class.Label(), *heuristic, *ties, *seed, *distinct, *concurrency)
+	fmt.Fprintf(stdout, "responses: %d ok, %d errors, %d cache hits\n", ok, errors, hits)
+	fmt.Fprintf(stdout, "throughput: %.1f req/s (%.1f ms total, observational)\n",
+		float64(*requests)/elapsed.Seconds(), float64(elapsed)/float64(time.Millisecond))
+	if len(latencies) > 0 {
+		qs, err := stats.Quantiles(latencies, 0.5, 0.9, 0.99, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "latency ms: p50 %.3f p90 %.3f p99 %.3f max %.3f (observational)\n",
+			qs[0], qs[1], qs[2], qs[3])
+	}
+
+	if *verify {
+		// Identical bodies must have produced byte-identical responses —
+		// the service's determinism guarantee, cache hit or miss.
+		reference := make([][]byte, *distinct)
+		for i, o := range outcomes {
+			if o.err != nil || o.status != http.StatusOK {
+				continue
+			}
+			k := i % *distinct
+			if reference[k] == nil {
+				reference[k] = o.body
+				continue
+			}
+			if !bytes.Equal(reference[k], o.body) {
+				return fmt.Errorf("request %d: response differs from an earlier response to the identical body", i)
+			}
+		}
+		fmt.Fprintf(stdout, "verify: %d distinct bodies -> byte-identical responses\n", *distinct)
+	}
+	if errors > 0 {
+		return fmt.Errorf("%d of %d requests failed", errors, *requests)
+	}
+	return nil
+}
+
+// classByLabel resolves an etc workload class from its conventional label.
+func classByLabel(label string) (etc.Class, error) {
+	var labels []string
+	for _, c := range etc.AllClasses() {
+		if c.Label() == label {
+			return c, nil
+		}
+		labels = append(labels, c.Label())
+	}
+	return etc.Class{}, fmt.Errorf("unknown -class %q (available: %s)", label, strings.Join(labels, ", "))
+}

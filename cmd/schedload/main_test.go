@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// startServer runs a serve.Server behind a real HTTP listener for the load
+// generator to hit.
+func startServer(t *testing.T, opts serve.Options) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	srv := serve.NewServer(opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			t.Errorf("Drain: %v", err)
+		}
+	})
+	return srv, ts
+}
+
+func TestLoadAgainstServer(t *testing.T) {
+	_, ts := startServer(t, serve.Options{})
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-addr", ts.URL,
+		"-requests", "24", "-concurrency", "4",
+		"-tasks", "8", "-machines", "3", "-distinct", "3",
+		"-heuristic", "sufferage", "-ties", "random", "-seed", "7",
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"24 ok, 0 errors",
+		"latency ms: p50",
+		"verify: 3 distinct bodies -> byte-identical responses",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	// 3 distinct bodies, 24 requests: at least 21 must be cache hits.
+	if strings.Contains(out, " 0 cache hits") {
+		t.Errorf("expected cache hits in:\n%s", out)
+	}
+}
+
+func TestLoadMapEndpoint(t *testing.T) {
+	_, ts := startServer(t, serve.Options{})
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-addr", strings.TrimPrefix(ts.URL, "http://"), // bare host:port form
+		"-endpoint", "map",
+		"-requests", "6", "-concurrency", "2",
+		"-tasks", "4", "-machines", "2", "-distinct", "2",
+		"-class", "lolo-c",
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "/v1/map") {
+		t.Errorf("stdout missing endpoint: %s", stdout.String())
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{},                                  // missing -addr
+		{"-addr", "x", "-endpoint", "nope"}, // bad endpoint
+		{"-addr", "x", "-class", "zz-q"},    // bad class
+		{"-addr", "x", "-requests", "0"},    // non-positive
+		{"-nope"},                           // unknown flag
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+		if strings.Contains(stdout.String(), "Usage") {
+			t.Errorf("run(%v): usage leaked to stdout", args)
+		}
+	}
+}

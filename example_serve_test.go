@@ -1,0 +1,37 @@
+package hcsched_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	hcsched "repro"
+)
+
+// The library as a service: the same deterministic engine behind a JSON
+// HTTP endpoint. Identical requests yield byte-identical bodies.
+func ExampleNewServer() {
+	srv := hcsched.NewServer(hcsched.ServeOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	body := `{"etc":[[4,9,9],[9,2,2],[9,9,3]],"heuristic":"min-min"}`
+	resp, err := http.Post(ts.URL+"/v1/map", "application/json", strings.NewReader(body))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp.Body.Close()
+	var out hcsched.MapResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("assign %v makespan %g\n", out.Assign, out.Makespan)
+	// Output:
+	// assign [0 1 2] makespan 4
+}

@@ -92,6 +92,33 @@ type TraceDone struct {
 // Kind implements Event.
 func (TraceDone) Kind() string { return "trace_done" }
 
+// RequestDone is emitted by the serving layer (internal/serve) once per
+// scheduling HTTP request, after the response is written. It is the
+// service's access-log record: sinks such as JSONL turn the stream into one
+// line per request.
+type RequestDone struct {
+	// Endpoint is the request path, e.g. "/v1/map".
+	Endpoint string `json:"endpoint"`
+	// Status is the HTTP status code of the response.
+	Status int `json:"status"`
+	// Cache is "hit" or "miss" for cacheable scheduling responses, empty
+	// for errors and non-scheduling endpoints.
+	Cache string `json:"cache,omitempty"`
+	// Heuristic and Seed echo the request's scheduling parameters (zero
+	// values for requests rejected before parsing).
+	Heuristic string `json:"heuristic,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	// Tasks and Machines give the request's workload shape.
+	Tasks    int `json:"tasks,omitempty"`
+	Machines int `json:"machines,omitempty"`
+	// ElapsedNS is the request's wall-clock service time. Observational
+	// only — it never influences the content of any response.
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// Kind implements Event.
+func (RequestDone) Kind() string { return "request_done" }
+
 // Observer receives engine events. Implementations must be safe for the
 // goroutine that runs the engine; observers shared across concurrent runs
 // (e.g. one sink for all Monte Carlo trials) must be safe for concurrent

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRequestDoneKindAndJSONL(t *testing.T) {
+	if (RequestDone{}).Kind() != "request_done" {
+		t.Fatalf("kind %q", (RequestDone{}).Kind())
+	}
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	sink.Observe(RequestDone{
+		Endpoint:  "/v1/iterate",
+		Status:    200,
+		Cache:     "hit",
+		Heuristic: "min-min",
+		Seed:      7,
+		Tasks:     4,
+		Machines:  3,
+		ElapsedNS: 1234,
+	})
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.TrimSpace(buf.String())
+	want := `{"event":"request_done","endpoint":"/v1/iterate","status":200,"cache":"hit","heuristic":"min-min","seed":7,"tasks":4,"machines":3,"elapsed_ns":1234}`
+	if got != want {
+		t.Fatalf("JSONL line:\n got %s\nwant %s", got, want)
+	}
+	// Zero-valued optional fields are omitted: a rejected request logs
+	// only endpoint, status and elapsed time.
+	buf.Reset()
+	sink2 := NewJSONL(&buf)
+	sink2.Observe(RequestDone{Endpoint: "/v1/map", Status: 400, ElapsedNS: 10})
+	got = strings.TrimSpace(buf.String())
+	want = `{"event":"request_done","endpoint":"/v1/map","status":400,"elapsed_ns":10}`
+	if got != want {
+		t.Fatalf("JSONL line:\n got %s\nwant %s", got, want)
+	}
+}

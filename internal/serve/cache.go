@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a mutex-guarded least-recently-used cache from exact request keys
+// to response bodies. Keys are the full canonical encoding of the request
+// (see cacheKey), not a digest: a collision would hand one request another
+// request's bytes, so exactness is an invariant, bought with a few KiB per
+// entry.
+type lru struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *lruEntry
+	entries map[string]*list.Element
+}
+
+type lruEntry struct {
+	key  string
+	body []byte
+}
+
+// newLRU returns a cache holding at most max entries (max >= 1).
+func newLRU(max int) *lru {
+	return &lru{max: max, order: list.New(), entries: make(map[string]*list.Element, max)}
+}
+
+// get returns the cached body for key and marks it most recently used. The
+// returned slice is shared and must not be mutated.
+func (c *lru) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).body, true
+}
+
+// add stores body under key, evicting the least recently used entry when
+// full. Re-adding an existing key refreshes its recency; the body is
+// identical by construction (responses are deterministic in the key), so
+// concurrent duplicate computations are harmless.
+func (c *lru) add(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.max {
+		oldest := c.order.Back()
+		if oldest != nil {
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*lruEntry).key)
+		}
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, body: body})
+}
+
+// len returns the number of cached entries.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,296 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/etc"
+	"repro/internal/heuristics"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/tiebreak"
+)
+
+// Request is the JSON body accepted by POST /v1/map and POST /v1/iterate.
+// Every field that influences the produced mapping is explicit — in
+// particular the seed — so identical requests always produce byte-identical
+// response bodies, whether computed or served from the cache.
+type Request struct {
+	// ETC is the matrix, one row per task, one column per machine. Entries
+	// must be positive and finite (the etc.Matrix invariant).
+	ETC [][]float64 `json:"etc"`
+	// Ready gives initial machine ready times; omitted means all zero.
+	Ready []float64 `json:"ready,omitempty"`
+	// Heuristic names the mapping heuristic, as in heuristics.Names().
+	Heuristic string `json:"heuristic"`
+	// Ties selects tie-breaking: "det" (default, lowest index) or "random"
+	// (seeded stream derived from Seed).
+	Ties string `json:"ties,omitempty"`
+	// Seed drives random tie-breaking and stochastic heuristics.
+	Seed uint64 `json:"seed,omitempty"`
+	// Seeded wraps the heuristic with the paper's never-worsen seeding.
+	Seeded bool `json:"seeded,omitempty"`
+	// TimeoutMS lowers the server's per-request deadline for this request.
+	// A deadline can cancel a request (504) but never alters the content of
+	// a produced response, so it is deliberately not part of the cache key.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// MapResponse is the body returned by POST /v1/map: one heuristic run.
+type MapResponse struct {
+	Heuristic string `json:"heuristic"`
+	Ties      string `json:"ties"`
+	Seed      uint64 `json:"seed"`
+	Tasks     int    `json:"tasks"`
+	Machines  int    `json:"machines"`
+	// Assign[t] is task t's machine; Completion[m] is machine m's
+	// completion time under the mapping.
+	Assign     []int     `json:"assign"`
+	Completion []float64 `json:"completion"`
+	Makespan   float64   `json:"makespan"`
+}
+
+// IterationResult is one iteration of the technique in an IterateResponse,
+// mirroring core.Iteration in global coordinates.
+type IterationResult struct {
+	Index           int       `json:"index"`
+	Tasks           []int     `json:"tasks"`
+	Machines        []int     `json:"machines"`
+	Assign          []int     `json:"assign"`
+	Completion      []float64 `json:"completion"`
+	Makespan        float64   `json:"makespan"`
+	MakespanMachine int       `json:"makespan_machine"`
+	// Frozen is the machine removed after this iteration, -1 for the last
+	// iteration (the survivor is never frozen).
+	Frozen int `json:"frozen"`
+}
+
+// IterateResponse is the body returned by POST /v1/iterate: a full run of
+// the paper's iterative technique.
+type IterateResponse struct {
+	Heuristic         string            `json:"heuristic"`
+	Ties              string            `json:"ties"`
+	Seed              uint64            `json:"seed"`
+	Tasks             int               `json:"tasks"`
+	Machines          int               `json:"machines"`
+	Iterations        []IterationResult `json:"iterations"`
+	FinalAssign       []int             `json:"final_assign"`
+	FinalCompletion   []float64         `json:"final_completion"`
+	OriginalMakespan  float64           `json:"original_makespan"`
+	FinalMakespan     float64           `json:"final_makespan"`
+	MakespanIncreased bool              `json:"makespan_increased"`
+	// Outcomes[m] classifies machine m against the original mapping:
+	// "improved", "unchanged" or "worsened".
+	Outcomes []string `json:"outcomes"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// apiError pairs an HTTP status with a client-facing message.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// endpoint distinguishes the two scheduling endpoints; it is part of the
+// cache key (a /v1/map and a /v1/iterate body are never interchangeable).
+type endpoint string
+
+const (
+	endpointMap     endpoint = "/v1/map"
+	endpointIterate endpoint = "/v1/iterate"
+)
+
+// parsedRequest is a validated scheduling request ready for a worker.
+type parsedRequest struct {
+	endpoint endpoint
+	req      Request
+	in       *sched.Instance
+	ties     string
+	key      string
+}
+
+// parseRequest decodes and validates a request body. Unknown fields are
+// rejected so a typo'd parameter can never silently change the cache key.
+func parseRequest(ep endpoint, body []byte) (*parsedRequest, *apiError) {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var rq Request
+	if err := dec.Decode(&rq); err != nil {
+		return nil, badRequest("decoding request: %v", err)
+	}
+	if dec.More() {
+		return nil, badRequest("request body has trailing data")
+	}
+	m, err := etc.New(rq.ETC)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	in, err := sched.NewInstance(m, rq.Ready)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	if _, err := heuristics.ByName(rq.Heuristic, rq.Seed); err != nil {
+		return nil, badRequest("%v", err)
+	}
+	ties := rq.Ties
+	if ties == "" {
+		ties = "det"
+	}
+	if ties != "det" && ties != "random" {
+		return nil, badRequest("unknown ties %q (want det or random)", ties)
+	}
+	if rq.TimeoutMS < 0 {
+		return nil, badRequest("timeout_ms %d < 0", rq.TimeoutMS)
+	}
+	p := &parsedRequest{endpoint: ep, req: rq, in: in, ties: ties}
+	p.key = cacheKey(ep, rq, ties, in)
+	return p, nil
+}
+
+// cacheKey builds the exact cache key: every scheduling input in canonical
+// binary form. Exactness (rather than a digest) is deliberate — a key
+// collision would serve one request another request's bytes, violating the
+// determinism guarantee. TimeoutMS is excluded: it can cancel a request but
+// never change a produced response.
+func cacheKey(ep endpoint, rq Request, ties string, in *sched.Instance) string {
+	m := in.ETC()
+	var b bytes.Buffer
+	b.Grow(64 + 8*m.Tasks()*m.Machines() + 8*in.Machines())
+	b.WriteString(string(ep))
+	b.WriteByte(0)
+	b.WriteString(rq.Heuristic)
+	b.WriteByte(0)
+	b.WriteString(ties)
+	b.WriteByte(0)
+	if rq.Seeded {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+	var u [8]byte
+	put := func(x uint64) {
+		binary.LittleEndian.PutUint64(u[:], x)
+		b.Write(u[:])
+	}
+	put(rq.Seed)
+	put(uint64(m.Tasks()))
+	put(uint64(m.Machines()))
+	for t := 0; t < m.Tasks(); t++ {
+		for j := 0; j < m.Machines(); j++ {
+			put(math.Float64bits(m.At(t, j)))
+		}
+	}
+	// Ready times come from the instance, so nil and explicit all-zero
+	// requests normalize to the same key.
+	for j := 0; j < in.Machines(); j++ {
+		put(math.Float64bits(in.Ready(j)))
+	}
+	return b.String()
+}
+
+// policy returns the tie-breaking policy function for the request. Built
+// fresh per compute: random policies are stateful streams.
+func (p *parsedRequest) policy() core.PolicyFunc {
+	if p.ties == "random" {
+		return core.FixedPolicy(tiebreak.NewRandom(rng.New(p.req.Seed)))
+	}
+	return core.Deterministic()
+}
+
+// compute runs the request and returns the marshaled response body. It is
+// fully deterministic in the request: no wall-clock, no shared state.
+func (p *parsedRequest) compute() ([]byte, *apiError) {
+	h, err := heuristics.ByName(p.req.Heuristic, p.req.Seed)
+	if err != nil {
+		return nil, badRequest("%v", err) // unreachable: validated at parse
+	}
+	if p.req.Seeded {
+		h = heuristics.Seeded{Inner: h}
+	}
+	switch p.endpoint {
+	case endpointMap:
+		mp, err := h.Map(p.in, p.policy()(0))
+		if err != nil {
+			return nil, &apiError{status: http.StatusInternalServerError, msg: err.Error()}
+		}
+		s, err := sched.Evaluate(p.in, mp)
+		if err != nil {
+			return nil, &apiError{status: http.StatusInternalServerError, msg: err.Error()}
+		}
+		return marshalResponse(MapResponse{
+			Heuristic:  p.req.Heuristic,
+			Ties:       p.ties,
+			Seed:       p.req.Seed,
+			Tasks:      p.in.Tasks(),
+			Machines:   p.in.Machines(),
+			Assign:     s.Mapping.Assign,
+			Completion: s.Completion,
+			Makespan:   s.Makespan(),
+		})
+	case endpointIterate:
+		tr, err := core.Iterate(p.in, h, p.policy())
+		if err != nil {
+			return nil, &apiError{status: http.StatusInternalServerError, msg: err.Error()}
+		}
+		resp := IterateResponse{
+			Heuristic:         p.req.Heuristic,
+			Ties:              p.ties,
+			Seed:              p.req.Seed,
+			Tasks:             p.in.Tasks(),
+			Machines:          p.in.Machines(),
+			FinalAssign:       tr.FinalAssign,
+			FinalCompletion:   tr.FinalCompletion,
+			OriginalMakespan:  tr.OriginalMakespan(),
+			FinalMakespan:     tr.FinalMakespan(),
+			MakespanIncreased: tr.MakespanIncreased(),
+		}
+		for i, it := range tr.Iterations {
+			ir := IterationResult{
+				Index:           it.Index,
+				Tasks:           it.Tasks,
+				Machines:        it.Machines,
+				Assign:          it.Assign,
+				Completion:      it.Completion,
+				Makespan:        it.Makespan,
+				MakespanMachine: it.MakespanMachine,
+				Frozen:          it.Frozen,
+			}
+			if i == len(tr.Iterations)-1 {
+				ir.Frozen = -1
+			}
+			resp.Iterations = append(resp.Iterations, ir)
+		}
+		for _, o := range tr.MachineOutcomes() {
+			resp.Outcomes = append(resp.Outcomes, o.String())
+		}
+		return marshalResponse(resp)
+	default:
+		return nil, &apiError{status: http.StatusInternalServerError, msg: fmt.Sprintf("unknown endpoint %q", p.endpoint)}
+	}
+}
+
+// marshalResponse produces the canonical response bytes (compact JSON plus
+// a trailing newline). Struct field order makes the encoding deterministic,
+// which is what lets cache hits be byte-identical to fresh computations.
+func marshalResponse(v any) ([]byte, *apiError) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, &apiError{status: http.StatusInternalServerError, msg: err.Error()}
+	}
+	return append(body, '\n'), nil
+}

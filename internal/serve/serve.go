@@ -1,0 +1,431 @@
+// Package serve is the online scheduling service core: the library behind
+// cmd/schedd. It turns the repository's batch-mode machinery (heuristics,
+// the iterative engine) into a long-running HTTP service with a bounded
+// request queue, a fixed worker pool, an LRU result cache and graceful
+// drain — the serving regime the batch-mode heuristics of Maheswaran et al.
+// were designed for.
+//
+// Determinism holds end to end: every request carries an explicit seed, and
+// identical requests (same matrix, heuristic, tie policy, seed) produce
+// byte-identical response bodies whether computed by a worker or served
+// from the cache. Wall-clock appears only in observability fields (latency
+// metrics, request_done events); a deadline may cancel a request but can
+// never alter the content of a produced mapping or trace.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Defaults for the zero Options value.
+const (
+	DefaultQueueDepth     = 64
+	DefaultCacheEntries   = 256
+	DefaultMaxBodyBytes   = 1 << 20
+	DefaultRequestTimeout = 5 * time.Second
+)
+
+// Options configures a Server. The zero value is a working configuration.
+type Options struct {
+	// QueueDepth bounds the number of requests waiting for a worker;
+	// requests beyond it are shed with 429. 0 means DefaultQueueDepth.
+	QueueDepth int
+	// Workers sizes the worker pool. 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// CacheEntries sizes the LRU result cache, keyed by (endpoint, ETC
+	// matrix, heuristic, tie policy, seed, seeded, ready times). 0 means
+	// DefaultCacheEntries; negative disables caching.
+	CacheEntries int
+	// MaxBodyBytes bounds request bodies. 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// RequestTimeout caps each request's deadline; a request's timeout_ms
+	// may lower it but never raise it. 0 means DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// Metrics receives serve.* counters, gauges and latency histograms.
+	// When nil the server creates its own registry (exposed at /metricz
+	// and by Metrics()).
+	Metrics *obs.Metrics
+	// Observer, when non-nil, receives one obs.RequestDone event per
+	// scheduling request — the service's access log. It must be safe for
+	// concurrent use (the obs sinks are).
+	Observer obs.Observer
+}
+
+// Server is the scheduling service: an http.Handler plus the worker pool
+// and cache behind it. Create with NewServer; stop with Drain.
+type Server struct {
+	opts  Options
+	reg   *obs.Metrics
+	cache *lru
+	queue chan *job
+
+	workers sync.WaitGroup
+
+	mu       sync.Mutex // guards draining and inflight Add vs Wait
+	draining bool
+	inflight sync.WaitGroup
+	stopOnce sync.Once
+
+	queued    atomic.Int64
+	inflightN atomic.Int64
+
+	mRequests *obs.Counter
+	mHits     *obs.Counter
+	mMisses   *obs.Counter
+	mShed     *obs.Counter
+	mTimeouts *obs.Counter
+	mErrors   *obs.Counter
+	gQueue    *obs.Gauge
+	gInflight *obs.Gauge
+	hLatency  *obs.Histogram
+
+	// testHookDequeued, when non-nil, runs in the worker goroutine after a
+	// job is dequeued and before it is computed. Tests use it to hold jobs
+	// in flight deterministically; it must never be set in production.
+	testHookDequeued func(*job)
+
+	mux *http.ServeMux
+}
+
+// job is one scheduling request handed to the worker pool.
+type job struct {
+	ctx  context.Context
+	p    *parsedRequest
+	done chan jobResult // buffered: workers never block on abandoned requests
+}
+
+type jobResult struct {
+	body []byte
+	err  *apiError
+}
+
+// NewServer builds a server and starts its worker pool.
+func NewServer(opts Options) *Server {
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = DefaultQueueDepth
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = DefaultRequestTimeout
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewMetrics()
+	}
+	s := &Server{
+		opts:  opts,
+		reg:   reg,
+		queue: make(chan *job, opts.QueueDepth),
+
+		mRequests: reg.Counter("serve.requests_total"),
+		mHits:     reg.Counter("serve.cache_hits"),
+		mMisses:   reg.Counter("serve.cache_misses"),
+		mShed:     reg.Counter("serve.shed_total"),
+		mTimeouts: reg.Counter("serve.timeouts_total"),
+		mErrors:   reg.Counter("serve.errors_total"),
+		gQueue:    reg.Gauge("serve.queue_depth"),
+		gInflight: reg.Gauge("serve.inflight"),
+		// Latency is wall-clock and observational only.
+		hLatency: reg.Histogram("serve.latency_ms", 0, 1000, 50),
+	}
+	if opts.CacheEntries >= 0 {
+		n := opts.CacheEntries
+		if n == 0 {
+			n = DefaultCacheEntries
+		}
+		s.cache = newLRU(n)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc(string(endpointMap), s.handleSchedule(endpointMap))
+	s.mux.HandleFunc(string(endpointIterate), s.handleSchedule(endpointIterate))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metricz", s.handleMetricz)
+	s.workers.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler: POST /v1/map, POST
+// /v1/iterate, GET /healthz, GET /metricz.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *obs.Metrics { return s.reg }
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully stops the server: new scheduling requests are refused
+// with 503 immediately, in-flight requests run to completion, then the
+// worker pool exits. It returns ctx's error if the context expires while
+// requests are still in flight. Drain is idempotent and safe to call
+// concurrently. Callers embedding the handler in an http.Server should
+// call http.Server.Shutdown first (to stop accepting connections), then
+// Drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	s.stopOnce.Do(func() { close(s.queue) })
+	s.workers.Wait()
+	return nil
+}
+
+// beginRequest registers an in-flight request unless the server is
+// draining. The mutex orders inflight.Add against Drain's Wait.
+func (s *Server) beginRequest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	s.gInflight.Set(float64(s.inflightN.Add(1)))
+	return true
+}
+
+func (s *Server) endRequest() {
+	s.gInflight.Set(float64(s.inflightN.Add(-1)))
+	s.inflight.Done()
+}
+
+// worker computes queued jobs until the queue is closed. Jobs whose context
+// is already done are skipped: the produced response could no longer reach
+// the client, and skipping keeps a timed-out backlog from stalling drain.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.gQueue.Set(float64(s.queued.Add(-1)))
+		if s.testHookDequeued != nil {
+			s.testHookDequeued(j)
+		}
+		if j.ctx.Err() != nil {
+			j.done <- jobResult{err: &apiError{status: http.StatusGatewayTimeout, msg: "deadline exceeded"}}
+			continue
+		}
+		body, err := j.p.compute()
+		if err == nil && s.cache != nil {
+			s.cache.add(j.p.key, body)
+		}
+		j.done <- jobResult{body: body, err: err}
+	}
+}
+
+// handleSchedule serves one scheduling endpoint: validate, consult the
+// cache, or queue for a worker under the request deadline.
+func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now() // observational only: latency metrics and events
+		if r.Method != http.MethodPost {
+			s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, msg: "use POST"})
+			s.observe(ep, http.StatusMethodNotAllowed, "", nil, start)
+			return
+		}
+		if !s.beginRequest() {
+			s.writeError(w, &apiError{status: http.StatusServiceUnavailable, msg: "draining"})
+			s.observe(ep, http.StatusServiceUnavailable, "", nil, start)
+			return
+		}
+		defer s.endRequest()
+		s.mRequests.Inc()
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+		if err != nil {
+			s.writeError(w, badRequest("reading body: %v", err))
+			s.observe(ep, http.StatusBadRequest, "", nil, start)
+			return
+		}
+		p, aerr := parseRequest(ep, body)
+		if aerr != nil {
+			s.writeError(w, aerr)
+			s.observe(ep, aerr.status, "", nil, start)
+			return
+		}
+		if s.cache != nil {
+			if cached, ok := s.cache.get(p.key); ok {
+				s.mHits.Inc()
+				s.writeBody(w, cached, "hit")
+				s.observe(ep, http.StatusOK, "hit", p, start)
+				return
+			}
+		}
+		s.mMisses.Inc()
+		timeout := s.opts.RequestTimeout
+		if t := time.Duration(p.req.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
+			timeout = t
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		j := &job{ctx: ctx, p: p, done: make(chan jobResult, 1)}
+		s.gQueue.Set(float64(s.queued.Add(1)))
+		select {
+		case s.queue <- j:
+		default:
+			s.gQueue.Set(float64(s.queued.Add(-1)))
+			s.mShed.Inc()
+			s.writeError(w, &apiError{status: http.StatusTooManyRequests, msg: "queue full"})
+			s.observe(ep, http.StatusTooManyRequests, "", p, start)
+			return
+		}
+		select {
+		case res := <-j.done:
+			if res.err != nil {
+				if res.err.status == http.StatusGatewayTimeout {
+					s.mTimeouts.Inc()
+				}
+				s.writeError(w, res.err)
+				s.observe(ep, res.err.status, "", p, start)
+				return
+			}
+			s.writeBody(w, res.body, "miss")
+			s.observe(ep, http.StatusOK, "miss", p, start)
+		case <-ctx.Done():
+			// The job stays queued; a worker will discard it. Its response
+			// was never produced, so determinism is untouched.
+			s.mTimeouts.Inc()
+			s.writeError(w, &apiError{status: http.StatusGatewayTimeout, msg: "deadline exceeded"})
+			s.observe(ep, http.StatusGatewayTimeout, "", p, start)
+		}
+	}
+}
+
+// healthState is the /healthz body.
+type healthState struct {
+	Status    string `json:"status"` // "ok" or "draining"
+	Workers   int    `json:"workers"`
+	QueueCap  int    `json:"queue_capacity"`
+	Queued    int64  `json:"queued"`
+	Inflight  int64  `json:"inflight"`
+	CacheSize int    `json:"cache_entries"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, msg: "use GET"})
+		return
+	}
+	h := healthState{
+		Status:   "ok",
+		Workers:  s.opts.Workers,
+		QueueCap: s.opts.QueueDepth,
+		Queued:   s.queued.Load(),
+		Inflight: s.inflightN.Load(),
+	}
+	if s.cache != nil {
+		h.CacheSize = s.cache.len()
+	}
+	status := http.StatusOK
+	if s.Draining() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	body, _ := json.Marshal(h)
+	w.Write(append(body, '\n'))
+}
+
+// handleMetricz renders the metrics registry: deterministic JSON snapshot
+// by default, the obs text rendering with ?format=text.
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, msg: "use GET"})
+		return
+	}
+	snap := s.reg.Snapshot()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, snap.Text())
+		return
+	}
+	body, err := snap.JSON()
+	if err != nil {
+		s.writeError(w, &apiError{status: http.StatusInternalServerError, msg: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
+
+// writeBody writes a 200 scheduling response. cacheState goes in the
+// X-Schedd-Cache header: headers may differ between hit and miss, bodies
+// never do.
+func (s *Server) writeBody(w http.ResponseWriter, body []byte, cacheState string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Schedd-Cache", cacheState)
+	w.Write(body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, aerr *apiError) {
+	if aerr.status >= http.StatusInternalServerError && aerr.status != http.StatusServiceUnavailable {
+		s.mErrors.Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(aerr.status)
+	body, _ := json.Marshal(ErrorResponse{Error: aerr.msg})
+	w.Write(append(body, '\n'))
+}
+
+// observe folds the request into the latency histogram and, when an
+// Observer is configured, emits the request_done access-log event. All
+// wall-clock readings stay on this observational path.
+func (s *Server) observe(ep endpoint, status int, cacheState string, p *parsedRequest, start time.Time) {
+	elapsed := time.Since(start)
+	s.hLatency.Observe(float64(elapsed) / float64(time.Millisecond))
+	if s.opts.Observer == nil {
+		return
+	}
+	ev := obs.RequestDone{
+		Endpoint:  string(ep),
+		Status:    status,
+		Cache:     cacheState,
+		ElapsedNS: elapsed.Nanoseconds(),
+	}
+	if p != nil {
+		ev.Heuristic = p.req.Heuristic
+		ev.Seed = p.req.Seed
+		ev.Tasks = p.in.Tasks()
+		ev.Machines = p.in.Machines()
+	}
+	s.opts.Observer.Observe(ev)
+}
+
+// String summarizes the server configuration for logs.
+func (s *Server) String() string {
+	cache := "off"
+	if s.cache != nil {
+		cache = fmt.Sprintf("%d entries", s.cache.max)
+	}
+	return fmt.Sprintf("serve: %d workers, queue %d, cache %s, timeout %s",
+		s.opts.Workers, s.opts.QueueDepth, cache, s.opts.RequestTimeout)
+}

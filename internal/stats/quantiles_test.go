@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7} // sorted: 1 3 5 7 9
+	got, err := Quantiles(xs, 0, 0.25, 0.5, 0.75, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 3, 5, 7, 9}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("quantile %d: got %g, want %g", i, got[i], want[i])
+		}
+	}
+	// Agreement with the single-quantile function on an interpolated point.
+	for _, q := range []float64{0.1, 0.33, 0.9, 0.99} {
+		single, err := Quantile(xs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := Quantiles(xs, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single != multi[0] {
+			t.Errorf("q=%g: Quantile %g != Quantiles %g", q, single, multi[0])
+		}
+	}
+}
+
+func TestQuantilesSingleElementAndErrors(t *testing.T) {
+	got, err := Quantiles([]float64{4.2}, 0, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 4.2 {
+			t.Errorf("single-element quantile %g, want 4.2", v)
+		}
+	}
+	if _, err := Quantiles(nil, 0.5); err == nil {
+		t.Error("empty sample: want error")
+	}
+	if _, err := Quantiles([]float64{1, 2}, 1.5); err == nil {
+		t.Error("q outside [0,1]: want error")
+	}
+	if _, err := Quantiles([]float64{1, 2}, 0.5, -0.1); err == nil {
+		t.Error("any q outside [0,1]: want error")
+	}
+	// Quantiles must not mutate its input.
+	xs := []float64{3, 1, 2}
+	if _, err := Quantiles(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}

@@ -62,22 +62,39 @@ func (s Summary) String() string {
 // interpolation of the sorted sample. It returns an error for an empty
 // sample or q outside [0, 1].
 func Quantile(xs []float64, q float64) (float64, error) {
-	if len(xs) == 0 {
-		return 0, errors.New("stats: empty sample")
+	qs, err := Quantiles(xs, q)
+	if err != nil {
+		return 0, err
 	}
-	if q < 0 || q > 1 {
-		return 0, fmt.Errorf("stats: quantile %g outside [0,1]", q)
+	return qs[0], nil
+}
+
+// Quantiles returns the qs-quantiles of xs by linear interpolation,
+// sorting the sample once for all requested quantiles (the serving load
+// generator asks for several latency quantiles at a time). It returns an
+// error for an empty sample or any q outside [0, 1].
+func Quantiles(xs []float64, qs ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("stats: empty sample")
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	if len(sorted) == 1 {
-		return sorted[0], nil
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		if q < 0 || q > 1 {
+			return nil, fmt.Errorf("stats: quantile %g outside [0,1]", q)
+		}
+		if len(sorted) == 1 {
+			out[i] = sorted[0]
+			continue
+		}
+		pos := q * float64(len(sorted)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		frac := pos - float64(lo)
+		out[i] = sorted[lo]*(1-frac) + sorted[hi]*frac
 	}
-	pos := q * float64(len(sorted)-1)
-	lo := int(math.Floor(pos))
-	hi := int(math.Ceil(pos))
-	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+	return out, nil
 }
 
 // Proportion holds a binomial proportion with its sample size.

@@ -2,7 +2,10 @@
 # The full repository gate in one command — CI and builders run the same
 # thing (see CLAUDE.md):
 #
-#   gofmt clean, go vet, build, full test suite, paper self-check.
+#   gofmt clean, go vet, build, full test suite, paper self-check, and the
+#   schedd serving smoke (ephemeral port, pinned Table-1 trace, cache
+#   byte-identity, graceful drain). The -race leg covers internal/serve's
+#   concurrency tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,3 +31,6 @@ echo "[ok  ] go test -race (internal)"
 
 go run ./cmd/paperrepro
 echo "[ok  ] paperrepro"
+
+go run ./cmd/schedd -selfcheck >/dev/null
+echo "[ok  ] schedd selfcheck"
