@@ -7,6 +7,7 @@
 //
 //	schedd [-addr 127.0.0.1:8080] [-queue 64] [-workers N] [-cache 256]
 //	       [-timeout 5s] [-drain-timeout 10s] [-access-log requests.jsonl]
+//	       [-fault-inject spec]
 //	schedd -selfcheck
 //
 // Endpoints:
@@ -20,8 +21,16 @@
 // policy and seed give byte-identical bodies, cached or computed. -selfcheck
 // starts the daemon on an ephemeral port, replays the pinned Table-1
 // Min-Min trace over real HTTP (twice: computed, then cached), verifies
-// both bodies bit-for-bit, drains, and exits 0 — the smoke test run by
-// scripts/check.sh.
+// both bodies bit-for-bit, then replays it through the deterministic fault
+// injector (internal/faults) with the resilient client (internal/client),
+// verifying recovery and byte-identity under injected 503s, dropped
+// connections and truncated bodies, drains, and exits 0 — the smoke test
+// run by scripts/check.sh.
+//
+// -fault-inject is a STAGING flag: it wraps the whole service in the
+// seeded fault injector (spec grammar: seed=N,latency=P:DUR,
+// reject=P:CODE[:SECS],drop=P,truncate=P) so clients can be exercised
+// against a misbehaving daemon. Never enable it on a production instance.
 package main
 
 import (
@@ -39,7 +48,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -62,10 +73,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		timeout      = fs.Duration("timeout", 0, "per-request deadline cap (0 = default 5s)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "how long to wait for in-flight requests on shutdown")
 		accessLog    = fs.String("access-log", "", "append request_done events as JSONL to this path")
+		faultInject  = fs.String("fault-inject", "", "STAGING ONLY: wrap the service in the seeded fault injector (e.g. seed=7,latency=0.1:5ms,reject=0.2:503:1,drop=0.05,truncate=0.05)")
 		selfcheck    = fs.Bool("selfcheck", false, "serve on an ephemeral port, verify the pinned Table-1 trace end to end, drain, exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var faultSpec faults.Spec
+	if *faultInject != "" {
+		if *selfcheck {
+			return fmt.Errorf("-fault-inject cannot be combined with -selfcheck (the selfcheck runs its own pinned fault leg)")
+		}
+		var err error
+		faultSpec, err = faults.Parse(*faultInject)
+		if err != nil {
+			return fmt.Errorf("-fault-inject: %w", err)
+		}
 	}
 	opts := serve.Options{
 		QueueDepth:     *queue,
@@ -89,7 +112,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *selfcheck {
 		err = selfCheck(srv, stdout)
 	} else {
-		err = serveForever(srv, *addr, *drainTimeout, stdout)
+		handler := http.Handler(srv.Handler())
+		if *faultInject != "" {
+			handler = faults.New(faultSpec, handler, srv.Metrics())
+			fmt.Fprintf(stdout, "schedd: FAULT INJECTION ACTIVE (%s)\n", faultSpec)
+		}
+		err = serveForever(srv, handler, *addr, *drainTimeout, stdout)
 	}
 	if err != nil {
 		return err
@@ -105,13 +133,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 // serveForever listens on addr and serves until SIGTERM/SIGINT, then drains:
 // the listener stops accepting, in-flight requests finish (bounded by
 // drainTimeout), the worker pool exits.
-func serveForever(srv *serve.Server, addr string, drainTimeout time.Duration, stdout io.Writer) error {
+func serveForever(srv *serve.Server, handler http.Handler, addr string, drainTimeout time.Duration, stdout io.Writer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "schedd: listening on http://%s (%s)\n", ln.Addr(), srv)
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
@@ -226,6 +254,10 @@ func selfCheck(srv *serve.Server, stdout io.Writer) error {
 	}
 	fmt.Fprintln(stdout, "[ok  ] metricz reports the cache hit")
 
+	if err := faultLeg(srv, base, first, reqBody, stdout); err != nil {
+		return err
+	}
+
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
@@ -235,6 +267,90 @@ func selfCheck(srv *serve.Server, stdout io.Writer) error {
 		return fmt.Errorf("drain: %w", err)
 	}
 	fmt.Fprintln(stdout, "[ok  ] drained")
+	return nil
+}
+
+// faultLeg replays the pinned Table-1 request through the deterministic
+// fault injector with the resilient client: injected 503s, dropped
+// connections and truncated bodies must cost retries, never correctness —
+// every recovered body is byte-identical to the cleanly computed one.
+// Injector, server and client share one metrics registry, so the clean
+// listener's /metricz (cleanBase) also proves faults were actually injected
+// and retries actually taken.
+func faultLeg(srv *serve.Server, cleanBase string, want, reqBody []byte, stdout io.Writer) error {
+	spec, err := faults.Parse("seed=5,latency=0.2:2ms,reject=0.25:503:1,drop=0.2,truncate=0.2")
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: faults.New(spec, srv.Handler(), srv.Metrics())}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	cl := client.New(client.Options{
+		MaxRetries:  12,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond, // caps the injector's Retry-After: 1s too
+		Timeout:     2 * time.Second,
+		Seed:        1,
+		// The injector never yields 12 consecutive faults here, but keep the
+		// breaker from fast-failing a replay mid-leg regardless.
+		BreakerThreshold: 1000,
+		Metrics:          srv.Metrics(),
+	})
+	const replays = 16
+	for i := 1; i <= replays; i++ {
+		resp, err := cl.Post(context.Background(), base+"/v1/iterate", reqBody)
+		if err != nil {
+			return fmt.Errorf("fault leg replay %d/%d: %w", i, replays, err)
+		}
+		if !bytes.Equal(resp.Body, want) {
+			return fmt.Errorf("fault leg replay %d/%d: recovered body differs from the clean response", i, replays)
+		}
+	}
+	fmt.Fprintf(stdout, "[ok  ] %d fault-injected replays recovered byte-identical responses\n", replays)
+
+	mresp, err := http.Get(cleanBase + "/metricz")
+	if err != nil {
+		return err
+	}
+	snapBody, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		return err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(snapBody, &snap); err != nil {
+		return fmt.Errorf("decoding /metricz: %w", err)
+	}
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	for _, name := range []string{
+		"faults.injected_total",
+		"faults.reject_total",
+		"faults.drop_total",
+		"faults.truncate_total",
+		"client.retries_total",
+	} {
+		if counters[name] <= 0 {
+			return fmt.Errorf("/metricz %s = %d, want > 0 (fault leg did not exercise it)", name, counters[name])
+		}
+	}
+	fmt.Fprintf(stdout, "[ok  ] metricz reports %d injected faults (%d rejected, %d dropped, %d truncated) and %d client retries\n",
+		counters["faults.injected_total"], counters["faults.reject_total"],
+		counters["faults.drop_total"], counters["faults.truncate_total"],
+		counters["client.retries_total"])
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("fault leg shutdown: %w", err)
+	}
 	return nil
 }
 

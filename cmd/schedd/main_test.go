@@ -8,7 +8,8 @@ import (
 )
 
 // TestSelfcheck runs the full end-to-end smoke in-process: ephemeral port,
-// pinned Table-1 /v1/iterate trace, byte-identical cache hit, drain.
+// pinned Table-1 /v1/iterate trace, byte-identical cache hit, the
+// fault-injected recovery leg, drain.
 func TestSelfcheck(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run([]string{"-selfcheck"}, &stdout, &stderr); err != nil {
@@ -19,6 +20,8 @@ func TestSelfcheck(t *testing.T) {
 		"[ok  ] /v1/iterate reproduces the pinned Table-1 trace",
 		"[ok  ] cache hit is byte-identical to the computed response",
 		"[ok  ] metricz reports the cache hit",
+		"[ok  ] 16 fault-injected replays recovered byte-identical responses",
+		"[ok  ] metricz reports 13 injected faults (3 rejected, 3 dropped, 5 truncated) and 11 client retries",
 		"[ok  ] drained",
 	} {
 		if !strings.Contains(stdout.String(), want) {
@@ -40,17 +43,40 @@ func TestSelfcheckWritesAccessLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
-	// The selfcheck issues exactly two scheduling requests (miss then hit).
-	if len(lines) != 2 {
-		t.Fatalf("%d access-log lines, want 2:\n%s", len(lines), data)
+	// The selfcheck issues two clean scheduling requests (miss then hit),
+	// then the fault-injection leg replays the same body; every replay that
+	// reaches the engine is a cache hit. Faults that stop a request before
+	// the engine (rejects, drops) leave no request_done line.
+	if len(lines) < 3 {
+		t.Fatalf("%d access-log lines, want at least 3 (clean miss + clean hit + fault-leg hits):\n%s", len(lines), data)
 	}
 	for _, line := range lines {
 		if !strings.Contains(line, `"event":"request_done"`) || !strings.Contains(line, `"endpoint":"/v1/iterate"`) {
 			t.Fatalf("unexpected access-log line: %s", line)
 		}
 	}
-	if !strings.Contains(lines[0], `"cache":"miss"`) || !strings.Contains(lines[1], `"cache":"hit"`) {
-		t.Fatalf("access log should record a miss then a hit:\n%s", data)
+	if !strings.Contains(lines[0], `"cache":"miss"`) {
+		t.Fatalf("first access-log line should be the computed miss:\n%s", data)
+	}
+	for _, line := range lines[1:] {
+		if !strings.Contains(line, `"cache":"hit"`) {
+			t.Fatalf("every line after the first should be a cache hit: %s", line)
+		}
+	}
+}
+
+// TestFaultInjectFlagValidation pins -fault-inject's fail-fast contract: a
+// typo'd spec is an error before any listener opens, and combining it with
+// -selfcheck (which runs its own pinned fault leg) is refused.
+func TestFaultInjectFlagValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-fault-inject", "reject=2.0:503"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "-fault-inject") {
+		t.Fatalf("bad spec: err = %v, want a -fault-inject parse error", err)
+	}
+	err = run([]string{"-selfcheck", "-fault-inject", "drop=0.5"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "-selfcheck") {
+		t.Fatalf("with -selfcheck: err = %v, want a conflict error", err)
 	}
 }
 

@@ -1,36 +1,54 @@
 // Command schedload is a seeded, deterministic load generator for schedd.
 // It generates a fixed set of distinct ETC workloads from an explicit seed,
-// fires them at a running daemon from concurrent clients, and reports
-// throughput and latency quantiles (via internal/stats) plus cache-hit
-// counts. Request contents are fully deterministic in the flags; the
-// latency and throughput numbers are wall-clock and observational only.
+// fires them at a running daemon from concurrent resilient clients
+// (internal/client: bounded retries, seeded-jitter backoff, per-attempt
+// timeouts, circuit breaker), and reports throughput and latency quantiles
+// (via internal/stats) plus cache-hit and retry counts. Request contents
+// are fully deterministic in the flags; the latency and throughput numbers
+// are wall-clock and observational only.
 //
 // With -verify (the default) it also asserts the service's core guarantee:
 // every response to an identical request body is byte-identical, whether it
-// was computed by a worker or served from the cache.
+// was computed by a worker, served from the cache, or recovered through
+// retries.
+//
+// With -faults the generator interposes an in-process seeded fault proxy
+// (internal/faults) between its clients and the daemon, so the resilient
+// client can be exercised against rejections, dropped connections and
+// truncated bodies without touching the daemon itself.
 //
 // Usage:
 //
 //	schedload -addr 127.0.0.1:8080 [-endpoint iterate|map] [-requests 64]
 //	          [-concurrency 8] [-tasks 16] [-machines 4] [-distinct 4]
 //	          [-class hihi-i] [-heuristic min-min] [-ties det] [-seed 1]
+//	          [-retries 3] [-backoff 10ms] [-timeout 5s] [-faults spec]
 //	          [-verify=true]
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log"
+	"net"
 	"net/http"
+	"net/http/httputil"
+	"net/url"
 	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/etc"
+	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/serve"
 	"repro/internal/stats"
@@ -57,7 +75,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		classLabel  = fs.String("class", "hihi-i", "workload class label, e.g. hihi-c, lolo-i (see etc.AllClasses)")
 		heuristic   = fs.String("heuristic", "min-min", "mapping heuristic for every request")
 		ties        = fs.String("ties", "det", "tie-breaking policy: det or random")
-		seed        = fs.Uint64("seed", 1, "seed for workload generation and the requests' scheduling seed")
+		seed        = fs.Uint64("seed", 1, "seed for workload generation, the requests' scheduling seed, backoff jitter and fault injection")
+		retries     = fs.Int("retries", 3, "max retries per request after the first attempt (0 disables)")
+		backoff     = fs.Duration("backoff", 10*time.Millisecond, "base retry backoff (exponential, seeded jitter)")
+		timeout     = fs.Duration("timeout", 5*time.Second, "per-attempt request timeout (a stalled daemon costs bounded time)")
+		faultSpec   = fs.String("faults", "", "interpose an in-process seeded fault proxy, e.g. seed=7,reject=0.2:503:1,drop=0.1,truncate=0.1")
 		verify      = fs.Bool("verify", true, "assert byte-identical responses for identical request bodies")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -70,6 +92,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *requests <= 0 || *concurrency <= 0 || *distinct <= 0 {
 		return fmt.Errorf("-requests, -concurrency and -distinct must be positive")
 	}
+	if *retries < 0 || *backoff <= 0 || *timeout <= 0 {
+		return fmt.Errorf("-retries must be >= 0; -backoff and -timeout must be positive")
+	}
 	if *endpoint != "iterate" && *endpoint != "map" {
 		return fmt.Errorf("unknown -endpoint %q (want iterate or map)", *endpoint)
 	}
@@ -81,7 +106,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
 		base = "http://" + base
 	}
-	url := base + "/v1/" + *endpoint
+	// One registry for the whole run: the resilient clients and (when
+	// -faults is set) the fault proxy record into it, so the final
+	// resilience line pairs injected faults with the retries they cost.
+	reg := obs.NewMetrics()
+	if *faultSpec != "" {
+		spec, err := faults.Parse(*faultSpec)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		proxyBase, err := startFaultProxy(spec, base, reg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "schedload: fault proxy %s -> %s (%s)\n", proxyBase, base, spec)
+		base = proxyBase
+	}
+	target := base + "/v1/" + *endpoint
 
 	// The request stream is deterministic in the flags: one rng source,
 	// consumed workload by workload.
@@ -112,7 +153,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	outcomes := make([]outcome, *requests)
 	var next atomic.Int64
-	client := &http.Client{}
+	// A zero-value http.Client has no timeout: one stalled connection would
+	// hang the generator forever. The resilient client bounds every attempt
+	// and retries transient failures; it is shared so the breaker sees the
+	// whole request stream. MaxRetries: 0 in client.Options means "default",
+	// so map the flag's literal 0 to the negative "disabled" form.
+	maxRetries := *retries
+	if maxRetries == 0 {
+		maxRetries = -1
+	}
+	cl := client.New(client.Options{
+		MaxRetries:  maxRetries,
+		BaseBackoff: *backoff,
+		Timeout:     *timeout,
+		Seed:        *seed,
+		Metrics:     reg,
+	})
 	var wg sync.WaitGroup
 	start := time.Now() // wall-clock: throughput/latency reporting only
 	for c := 0; c < *concurrency; c++ {
@@ -125,19 +181,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 					return
 				}
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(bodies[i%*distinct]))
-				if err != nil {
-					outcomes[i] = outcome{err: err}
-					continue
-				}
-				body, err := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				outcomes[i] = outcome{
-					status:    resp.StatusCode,
-					cache:     resp.Header.Get("X-Schedd-Cache"),
-					body:      body,
-					err:       err,
-					latencyMS: float64(time.Since(t0)) / float64(time.Millisecond),
+				resp, err := cl.Post(context.Background(), target, bodies[i%*distinct])
+				latencyMS := float64(time.Since(t0)) / float64(time.Millisecond)
+				var se *client.StatusError
+				switch {
+				case err == nil:
+					outcomes[i] = outcome{
+						status:    resp.Status,
+						cache:     resp.Cache,
+						body:      resp.Body,
+						latencyMS: latencyMS,
+					}
+				case errors.As(err, &se):
+					outcomes[i] = outcome{status: se.Status, body: se.Body, latencyMS: latencyMS}
+				default:
+					outcomes[i] = outcome{err: err, latencyMS: latencyMS}
 				}
 			}
 		}()
@@ -145,15 +203,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var ok, errors, hits int
+	var ok, failed, hits int
 	latencies := make([]float64, 0, *requests)
 	for i, o := range outcomes {
 		switch {
 		case o.err != nil:
-			errors++
+			failed++
 			fmt.Fprintf(stderr, "request %d: %v\n", i, o.err)
 		case o.status != http.StatusOK:
-			errors++
+			failed++
 			fmt.Fprintf(stderr, "request %d: status %d: %s", i, o.status, o.body)
 		default:
 			ok++
@@ -164,9 +222,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	counters := map[string]int64{}
+	for _, c := range reg.Snapshot().Counters {
+		counters[c.Name] = c.Value
+	}
 	fmt.Fprintf(stdout, "schedload: %d requests to %s (%dx%d %s, heuristic %s, ties %s, seed %d, %d distinct, concurrency %d)\n",
-		*requests, url, *tasks, *machines, class.Label(), *heuristic, *ties, *seed, *distinct, *concurrency)
-	fmt.Fprintf(stdout, "responses: %d ok, %d errors, %d cache hits\n", ok, errors, hits)
+		*requests, target, *tasks, *machines, class.Label(), *heuristic, *ties, *seed, *distinct, *concurrency)
+	fmt.Fprintf(stdout, "responses: %d ok, %d errors, %d cache hits\n", ok, failed, hits)
+	fmt.Fprintf(stdout, "resilience: %d attempts, %d retries, %d breaker fast-fails, %d injected faults\n",
+		counters["client.attempts_total"], counters["client.retries_total"],
+		counters["client.fastfail_total"], counters["faults.injected_total"])
 	fmt.Fprintf(stdout, "throughput: %.1f req/s (%.1f ms total, observational)\n",
 		float64(*requests)/elapsed.Seconds(), float64(elapsed)/float64(time.Millisecond))
 	if len(latencies) > 0 {
@@ -197,10 +262,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "verify: %d distinct bodies -> byte-identical responses\n", *distinct)
 	}
-	if errors > 0 {
-		return fmt.Errorf("%d of %d requests failed", errors, *requests)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d requests failed", failed, *requests)
 	}
 	return nil
+}
+
+// startFaultProxy listens on an ephemeral loopback port and relays every
+// request to base through the seeded fault injector, recording faults.*
+// counters into reg. The listener lives for the process: schedload is a
+// short-lived tool.
+func startFaultProxy(spec faults.Spec, base string, reg *obs.Metrics) (string, error) {
+	u, err := url.Parse(base)
+	if err != nil {
+		return "", fmt.Errorf("-addr: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	proxy := httputil.NewSingleHostReverseProxy(u)
+	// Severed client connections mid-relay are the injector's job, not
+	// noise for the terminal.
+	proxy.ErrorLog = log.New(io.Discard, "", 0)
+	go http.Serve(ln, faults.New(spec, proxy, reg))
+	return "http://" + ln.Addr().String(), nil
 }
 
 // classByLabel resolves an etc workload class from its conventional label.

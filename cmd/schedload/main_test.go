@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -74,12 +75,84 @@ func TestLoadMapEndpoint(t *testing.T) {
 	}
 }
 
+// TestStalledServerCostsBoundedTime is the regression test for the
+// zero-value http.Client bug: a daemon that accepts connections but never
+// answers must cost the generator its per-attempt timeout budget, not hang
+// it forever.
+func TestStalledServerCostsBoundedTime(t *testing.T) {
+	stall := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall
+	}))
+	defer ts.Close()
+	defer close(stall) // LIFO: release the handlers before ts.Close waits on them
+
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-addr", ts.URL,
+		"-requests", "2", "-concurrency", "2",
+		"-tasks", "4", "-machines", "2", "-distinct", "1",
+		"-timeout", "100ms", "-retries", "1", "-backoff", "1ms",
+	}
+	start := time.Now()
+	err := run(args, &stdout, &stderr)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("run against a stalled server: want error, got ok\nstdout: %s", stdout.String())
+	}
+	if !strings.Contains(err.Error(), "2 of 2 requests failed") {
+		t.Errorf("err = %v, want both requests failed", err)
+	}
+	// 2 attempts x 100ms each plus backoff: far under 5s; without the
+	// per-attempt timeout this test would hang until the suite deadline.
+	if elapsed > 5*time.Second {
+		t.Errorf("run took %v against a stalled server, want bounded by the -timeout budget", elapsed)
+	}
+}
+
+// TestFaultProxyRecovers drives the generator through its in-process fault
+// proxy: injected rejections, drops and truncations must cost retries, not
+// correctness — every request succeeds and the verify pass still proves
+// byte-identical responses.
+func TestFaultProxyRecovers(t *testing.T) {
+	_, ts := startServer(t, serve.Options{})
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-addr", ts.URL,
+		"-requests", "24", "-concurrency", "4",
+		"-tasks", "6", "-machines", "3", "-distinct", "2",
+		"-retries", "8", "-backoff", "1ms", "-timeout", "2s",
+		"-faults", "seed=3,reject=0.15:503:1,drop=0.1,truncate=0.1",
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"schedload: fault proxy",
+		"24 ok, 0 errors",
+		"verify: 2 distinct bodies -> byte-identical responses",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, " 0 injected faults") {
+		t.Errorf("fault proxy injected nothing:\n%s", out)
+	}
+	if strings.Contains(out, " 0 retries") {
+		t.Errorf("resilient client never retried:\n%s", out)
+	}
+}
+
 func TestFlagValidation(t *testing.T) {
 	cases := [][]string{
 		{},                                  // missing -addr
 		{"-addr", "x", "-endpoint", "nope"}, // bad endpoint
 		{"-addr", "x", "-class", "zz-q"},    // bad class
 		{"-addr", "x", "-requests", "0"},    // non-positive
+		{"-addr", "x", "-retries", "-1"},    // negative retries
+		{"-addr", "x", "-faults", "drop=2"}, // bad fault spec
 		{"-nope"},                           // unknown flag
 	}
 	for _, args := range cases {

@@ -1,0 +1,53 @@
+package hcsched_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	hcsched "repro"
+)
+
+// The resilience layer end to end: the service behind the seeded fault
+// injector (every other response here is withheld — rejected, dropped or
+// truncated), recovered by the resilient client. The answer is still the
+// deterministic one: faults cost retries, never correctness.
+func ExampleNewClient() {
+	srv := hcsched.NewServer(hcsched.ServeOptions{})
+	spec, err := hcsched.ParseFaultSpec("seed=2,reject=0.2:503:1,drop=0.15,truncate=0.15")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ts := httptest.NewServer(hcsched.NewFaultInjector(spec, srv.Handler(), nil))
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	cl := hcsched.NewClient(hcsched.ClientOptions{
+		Seed:        1,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		MaxRetries:  10,
+	})
+	body := []byte(`{"etc":[[4,9,9],[9,2,2],[9,9,3]],"heuristic":"min-min"}`)
+	for i := 0; i < 4; i++ {
+		resp, err := cl.Post(context.Background(), ts.URL+"/v1/map", body)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		var out hcsched.MapResponse
+		if err := json.Unmarshal(resp.Body, &out); err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("assign %v makespan %g\n", out.Assign, out.Makespan)
+	}
+	// Output:
+	// assign [0 1 2] makespan 4
+	// assign [0 1 2] makespan 4
+	// assign [0 1 2] makespan 4
+	// assign [0 1 2] makespan 4
+}

@@ -1,0 +1,57 @@
+package hcsched
+
+import (
+	"net/http"
+
+	"repro/internal/client"
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// Resilience layer (see internal/faults and internal/client): the serving
+// path's robustness story. The fault injector wraps any handler with
+// deterministic, seeded failures — computed bodies are never altered, only
+// withheld — and the resilient client survives them with bounded retries,
+// seeded-jitter backoff, per-attempt timeouts and a circuit breaker.
+// Wall-clock shapes only when requests are sent, never what any response
+// contains.
+type (
+	// Client is the resilient schedd client; create with NewClient.
+	Client = client.Client
+	// ClientOptions configures a Client; the zero value is a working
+	// configuration.
+	ClientOptions = client.Options
+	// ClientResponse is a successful response, with its full body and the
+	// attempt count it cost.
+	ClientResponse = client.Response
+	// StatusError is returned for non-retryable HTTP error responses.
+	StatusError = client.StatusError
+	// FaultSpec configures the fault injector; parse one with
+	// ParseFaultSpec.
+	FaultSpec = faults.Spec
+	// FaultInjector is the seeded fault-injection middleware.
+	FaultInjector = faults.Injector
+	// ClientRetryEvent records one retry decision (attempt, trigger,
+	// backoff delay) in an observer.
+	ClientRetryEvent = obs.ClientRetry
+	// BreakerTransitionEvent records a circuit-breaker state change.
+	BreakerTransitionEvent = obs.BreakerTransition
+)
+
+// ErrBreakerOpen is returned (wrapped) when the circuit breaker refuses a
+// request without sending it.
+var ErrBreakerOpen = client.ErrBreakerOpen
+
+// NewClient builds a resilient client; it is safe for concurrent use.
+func NewClient(opts ClientOptions) *Client { return client.New(opts) }
+
+// ParseFaultSpec parses the fault-injection grammar
+// "seed=N,latency=P:DUR,reject=P:CODE[:SECS],drop=P,truncate=P" (every
+// field optional, probabilities in [0,1], CODE 503 or 429).
+func ParseFaultSpec(spec string) (FaultSpec, error) { return faults.Parse(spec) }
+
+// NewFaultInjector wraps inner with deterministic, seeded fault injection,
+// recording faults.* counters into reg (nil for a private registry).
+func NewFaultInjector(spec FaultSpec, inner http.Handler, reg *Metrics) *FaultInjector {
+	return faults.New(spec, inner, reg)
+}

@@ -1,0 +1,438 @@
+// Package client is the resilient schedd client: bounded retries with
+// seeded-jitter exponential backoff, per-attempt timeouts, Retry-After
+// honoring and a circuit breaker with half-open probes. It is the other
+// half of the serving path's robustness story (internal/faults injects the
+// failures; this package survives them): a stalled or flaky schedd instance
+// costs a caller bounded time, never a hang.
+//
+// Determinism and observation follow the repository's rules:
+//
+//   - Backoff jitter flows from an explicit seed through internal/rng,
+//     never math/rand, so a retry schedule is replayable given the same
+//     sequence of failures.
+//   - Wall-clock stays observational only. The breaker's cooldown and the
+//     backoff sleeps decide when a request is sent — client-side traffic
+//     shaping — but no timing value ever alters the content of a response
+//     or feeds a scheduling decision; response bodies remain deterministic
+//     in the request alone.
+//
+// The client is safe for concurrent use; breaker state and the jitter
+// stream are shared across goroutines under a mutex.
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rng"
+)
+
+// Defaults for the zero Options value.
+const (
+	DefaultMaxRetries       = 3
+	DefaultBaseBackoff      = 10 * time.Millisecond
+	DefaultMaxBackoff       = time.Second
+	DefaultTimeout          = 5 * time.Second
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = time.Second
+)
+
+// Options configures a Client. The zero value is a working configuration.
+type Options struct {
+	// MaxRetries bounds retries after the first attempt (so a request makes
+	// at most 1+MaxRetries attempts). 0 means DefaultMaxRetries; negative
+	// disables retries.
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff; attempt k waits
+	// BaseBackoff<<k, jittered to [d/2, d), capped at MaxBackoff. 0 means
+	// DefaultBaseBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps every wait, including honored Retry-After values. 0
+	// means DefaultMaxBackoff.
+	MaxBackoff time.Duration
+	// Timeout is the per-attempt deadline (a slow attempt is abandoned and
+	// retried; the caller's ctx still bounds the whole call). 0 means
+	// DefaultTimeout.
+	Timeout time.Duration
+	// Seed drives backoff jitter through internal/rng.
+	Seed uint64
+	// BreakerThreshold opens the circuit after that many consecutive
+	// failures. 0 means DefaultBreakerThreshold; negative disables the
+	// breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before admitting a
+	// half-open probe. 0 means DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// HTTPClient performs the attempts; nil means a plain &http.Client{}.
+	// Per-attempt deadlines come from contexts, not Client.Timeout.
+	HTTPClient *http.Client
+	// Metrics receives client.* counters and the breaker-state gauge; nil
+	// creates a private registry.
+	Metrics *obs.Metrics
+	// Observer, when non-nil, receives obs.ClientRetry and
+	// obs.BreakerTransition events.
+	Observer obs.Observer
+}
+
+// ErrBreakerOpen is returned (wrapped) when the circuit breaker refuses a
+// request without sending it.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// StatusError is returned for non-retryable HTTP error responses.
+type StatusError struct {
+	Status int
+	Body   []byte
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("client: status %d: %s", e.Status, bytes.TrimSpace(e.Body))
+}
+
+// Response is a successful (2xx) schedd response.
+type Response struct {
+	Status int
+	// Body is the full response body, byte-identical to what the server
+	// produced (a truncated read is a retryable failure, never a partial
+	// Response).
+	Body []byte
+	// Cache echoes the X-Schedd-Cache header ("hit" or "miss").
+	Cache string
+	// Attempts counts the attempts made, including the successful one.
+	Attempts int
+}
+
+// breaker states.
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+func stateName(s int) string {
+	switch s {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Client is a resilient HTTP client for schedd endpoints. Create with New.
+type Client struct {
+	opts Options
+	hc   *http.Client
+
+	mu       sync.Mutex
+	src      *rng.Source
+	state    int
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+
+	// now and sleep are injectable for deterministic tests; production uses
+	// the real clock. Both are wall-clock and observational only: they shape
+	// when requests are sent, never what any response contains.
+	now   func() time.Time
+	sleep func(context.Context, time.Duration) error
+
+	mAttempts *obs.Counter
+	mRetries  *obs.Counter
+	mFastFail *obs.Counter
+	mOpen     *obs.Counter
+	mHalfOpen *obs.Counter
+	mClosed   *obs.Counter
+	gState    *obs.Gauge
+}
+
+// New builds a Client.
+func New(opts Options) *Client {
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = DefaultMaxRetries
+	} else if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	if opts.BaseBackoff <= 0 {
+		opts.BaseBackoff = DefaultBaseBackoff
+	}
+	if opts.MaxBackoff <= 0 {
+		opts.MaxBackoff = DefaultMaxBackoff
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = DefaultBreakerCooldown
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewMetrics()
+	}
+	return &Client{
+		opts:      opts,
+		hc:        hc,
+		src:       rng.New(opts.Seed),
+		now:       time.Now,
+		sleep:     sleepCtx,
+		mAttempts: reg.Counter("client.attempts_total"),
+		mRetries:  reg.Counter("client.retries_total"),
+		mFastFail: reg.Counter("client.fastfail_total"),
+		mOpen:     reg.Counter("client.breaker_open_total"),
+		mHalfOpen: reg.Counter("client.breaker_halfopen_total"),
+		mClosed:   reg.Counter("client.breaker_closed_total"),
+		gState:    reg.Gauge("client.breaker_state"),
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// transition moves the breaker to state next (mu held) and records it.
+func (c *Client) transition(next int) {
+	if c.state == next {
+		return
+	}
+	from := c.state
+	c.state = next
+	c.gState.Set(float64(next))
+	switch next {
+	case stateOpen:
+		c.mOpen.Inc()
+	case stateHalfOpen:
+		c.mHalfOpen.Inc()
+	case stateClosed:
+		c.mClosed.Inc()
+	}
+	if c.opts.Observer != nil {
+		c.opts.Observer.Observe(obs.BreakerTransition{From: stateName(from), To: stateName(next)})
+	}
+}
+
+// admit asks the breaker whether a request may be sent now. It returns
+// probe=true when the request is the half-open probe.
+func (c *Client) admit() (probe bool, err error) {
+	if c.opts.BreakerThreshold < 0 {
+		return false, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch c.state {
+	case stateClosed:
+		return false, nil
+	case stateOpen:
+		if c.now().Sub(c.openedAt) < c.opts.BreakerCooldown {
+			c.mFastFail.Inc()
+			return false, fmt.Errorf("%w (cooling down)", ErrBreakerOpen)
+		}
+		c.transition(stateHalfOpen)
+		c.probing = true
+		return true, nil
+	default: // half-open
+		if c.probing {
+			c.mFastFail.Inc()
+			return false, fmt.Errorf("%w (probe in flight)", ErrBreakerOpen)
+		}
+		c.probing = true
+		return true, nil
+	}
+}
+
+// onSuccess records a successful attempt: a half-open probe (or any
+// success) closes the breaker and resets the failure run.
+func (c *Client) onSuccess(probe bool) {
+	if c.opts.BreakerThreshold < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failures = 0
+	if probe {
+		c.probing = false
+	}
+	c.transition(stateClosed)
+}
+
+// onFailure records a failed attempt: a failed probe reopens immediately;
+// enough consecutive failures while closed open the breaker.
+func (c *Client) onFailure(probe bool) {
+	if c.opts.BreakerThreshold < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if probe {
+		c.probing = false
+		c.openedAt = c.now()
+		c.transition(stateOpen)
+		return
+	}
+	if c.state != stateClosed {
+		return
+	}
+	c.failures++
+	if c.failures >= c.opts.BreakerThreshold {
+		c.failures = 0
+		c.openedAt = c.now()
+		c.transition(stateOpen)
+	}
+}
+
+// backoff computes the jittered wait before retry attempt (1-based),
+// honoring retryAfter (from a Retry-After header) up to MaxBackoff.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.opts.BaseBackoff << (attempt - 1)
+	if d <= 0 || d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	c.mu.Lock()
+	jitter := c.src.Float64()
+	c.mu.Unlock()
+	d = d/2 + time.Duration(jitter*float64(d/2))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > c.opts.MaxBackoff {
+		d = c.opts.MaxBackoff
+	}
+	return d
+}
+
+// retryAfter parses a Retry-After header as delay seconds (the form schedd
+// and the fault injector emit); 0 when absent or unparseable.
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryable reports whether an HTTP status is worth retrying: overload
+// signals and transient server errors, not deterministic request errors.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Post sends body to url, retrying transient failures (transport errors,
+// truncated reads, 429 and 5xx) with seeded-jitter exponential backoff
+// under the circuit breaker. It returns the first successful Response, a
+// *StatusError for a non-retryable status, or the last failure once
+// retries are exhausted.
+func (c *Client) Post(ctx context.Context, url string, body []byte) (*Response, error) {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		probe, err := c.admit()
+		if err != nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last failure: %v)", err, lastErr)
+			}
+			return nil, err
+		}
+		c.mAttempts.Inc()
+		resp, status, ra, err := c.attempt(ctx, url, body)
+		if err == nil {
+			c.onSuccess(probe)
+			resp.Attempts = attempt
+			return resp, nil
+		}
+		lastErr = err
+		var se *StatusError
+		if errors.As(err, &se) && !retryable(se.Status) {
+			// Deterministic request error (400/404/413/...): the server
+			// answered; this is not a fault, so the breaker stays put.
+			c.onSuccess(probe)
+			return nil, err
+		}
+		c.onFailure(probe)
+		if attempt > c.opts.MaxRetries || ctx.Err() != nil {
+			return nil, fmt.Errorf("client: %d attempt(s) failed: %w", attempt, lastErr)
+		}
+		delay := c.backoff(attempt, ra)
+		c.mRetries.Inc()
+		if c.opts.Observer != nil {
+			c.opts.Observer.Observe(obs.ClientRetry{
+				URL:     url,
+				Attempt: attempt,
+				Status:  status,
+				Err:     errText(err, status),
+				DelayNS: int64(delay),
+			})
+		}
+		if err := c.sleep(ctx, delay); err != nil {
+			return nil, fmt.Errorf("client: interrupted after %d attempt(s): %w (last failure: %v)", attempt, err, lastErr)
+		}
+	}
+}
+
+// errText is the ClientRetry event's error field: transport errors only
+// (statuses are already carried structurally).
+func errText(err error, status int) string {
+	if status != 0 {
+		return ""
+	}
+	return err.Error()
+}
+
+// attempt performs one POST under the per-attempt timeout. status is the
+// HTTP status when one was received (even on failure); ra is the parsed
+// Retry-After.
+func (c *Client) attempt(ctx context.Context, url string, body []byte) (resp *Response, status int, ra time.Duration, err error) {
+	actx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hr, err := c.hc.Do(req)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer hr.Body.Close()
+	b, err := io.ReadAll(hr.Body)
+	if err != nil {
+		// Truncated or severed mid-body: a partial body must never be
+		// surfaced as a Response.
+		return nil, 0, 0, fmt.Errorf("client: reading body: %w", err)
+	}
+	if hr.StatusCode < 200 || hr.StatusCode > 299 {
+		return nil, hr.StatusCode, retryAfter(hr), &StatusError{Status: hr.StatusCode, Body: b}
+	}
+	return &Response{Status: hr.StatusCode, Body: b, Cache: hr.Header.Get("X-Schedd-Cache")}, hr.StatusCode, 0, nil
+}

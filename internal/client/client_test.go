@@ -1,0 +1,350 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// newTestClient builds a client with a fake clock and recorded sleeps so
+// tests never wait on real wall-clock.
+func newTestClient(opts Options) (*Client, *fakeTime) {
+	c := New(opts)
+	ft := &fakeTime{t: time.Unix(1000, 0)}
+	c.now = ft.now
+	c.sleep = ft.sleep
+	return c, ft
+}
+
+type fakeTime struct {
+	mu     sync.Mutex
+	t      time.Time
+	slept  []time.Duration
+	target *Client // advance this client's clock while "sleeping"
+}
+
+func (f *fakeTime) now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeTime) sleep(ctx context.Context, d time.Duration) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.slept = append(f.slept, d)
+	f.t = f.t.Add(d)
+	return ctx.Err()
+}
+
+func (f *fakeTime) advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+func counterValue(t *testing.T, reg *obs.Metrics, name string) int64 {
+	t.Helper()
+	for _, c := range reg.Snapshot().Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// flaky serves failures for the first n requests, then succeeds with body.
+func flaky(n int, failStatus int, retryAfter string, body []byte) (*httptest.Server, *atomic.Int64) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= int64(n) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(failStatus)
+			return
+		}
+		w.Header().Set("X-Schedd-Cache", "miss")
+		w.Write(body)
+	}))
+	return ts, &hits
+}
+
+func TestRetriesUntilSuccess(t *testing.T) {
+	want := []byte(`{"ok":true}` + "\n")
+	ts, hits := flaky(2, http.StatusServiceUnavailable, "", want)
+	defer ts.Close()
+	reg := obs.NewMetrics()
+	collector := &obs.Collector{}
+	c, _ := newTestClient(Options{MaxRetries: 3, Seed: 1, Metrics: reg, Observer: collector})
+	resp, err := c.Post(context.Background(), ts.URL, []byte("{}"))
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	if !bytes.Equal(resp.Body, want) || resp.Cache != "miss" || resp.Attempts != 3 {
+		t.Fatalf("resp %+v", resp)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3", got)
+	}
+	if got := counterValue(t, reg, "client.retries_total"); got != 2 {
+		t.Fatalf("client.retries_total = %d, want 2", got)
+	}
+	var retries int
+	for _, e := range collector.Events() {
+		if cr, ok := e.(obs.ClientRetry); ok {
+			retries++
+			if cr.Status != http.StatusServiceUnavailable || cr.URL != ts.URL {
+				t.Fatalf("retry event %+v", cr)
+			}
+		}
+	}
+	if retries != 2 {
+		t.Fatalf("%d client_retry events, want 2", retries)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	ts, hits := flaky(100, http.StatusServiceUnavailable, "", nil)
+	defer ts.Close()
+	c, _ := newTestClient(Options{MaxRetries: 2, Seed: 1})
+	_, err := c.Post(context.Background(), ts.URL, []byte("{}"))
+	if err == nil {
+		t.Fatal("want error after exhausted retries")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err %v, want wrapped StatusError 503", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestPermanentStatusNotRetried(t *testing.T) {
+	ts, hits := flaky(100, http.StatusBadRequest, "", nil)
+	defer ts.Close()
+	c, _ := newTestClient(Options{MaxRetries: 5, Seed: 1})
+	_, err := c.Post(context.Background(), ts.URL, []byte("{"))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("err %v, want StatusError 400", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (400 is deterministic)", got)
+	}
+}
+
+func TestRetryAfterHonoredUpToCap(t *testing.T) {
+	ts, _ := flaky(1, http.StatusTooManyRequests, "1", []byte("ok"))
+	defer ts.Close()
+	c, ft := newTestClient(Options{MaxRetries: 2, BaseBackoff: time.Millisecond, MaxBackoff: 100 * time.Millisecond, Seed: 1})
+	if _, err := c.Post(context.Background(), ts.URL, nil); err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	if len(ft.slept) != 1 {
+		t.Fatalf("%d sleeps, want 1", len(ft.slept))
+	}
+	// Retry-After of 1s beats the ~1ms computed backoff but is capped at
+	// MaxBackoff.
+	if ft.slept[0] != 100*time.Millisecond {
+		t.Fatalf("slept %v, want the 100ms MaxBackoff cap", ft.slept[0])
+	}
+}
+
+func TestBackoffJitterDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		ts, _ := flaky(4, http.StatusServiceUnavailable, "", []byte("ok"))
+		defer ts.Close()
+		c, ft := newTestClient(Options{MaxRetries: 4, BaseBackoff: 16 * time.Millisecond, Seed: 9})
+		if _, err := c.Post(context.Background(), ts.URL, nil); err != nil {
+			t.Fatalf("Post: %v", err)
+		}
+		return ft.slept
+	}
+	a, b := run(), run()
+	if len(a) != 4 {
+		t.Fatalf("%d sleeps, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sleep %d differs: %v vs %v (jitter not seed-deterministic)", i, a[i], b[i])
+		}
+		min := 16 * time.Millisecond << i / 2
+		max := 16 * time.Millisecond << i
+		if a[i] < min || a[i] >= max {
+			t.Fatalf("sleep %d = %v outside jitter window [%v, %v)", i, a[i], min, max)
+		}
+	}
+}
+
+func TestPerAttemptTimeout(t *testing.T) {
+	stall := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall
+	}))
+	defer ts.Close()
+	defer close(stall) // LIFO: release the handler before ts.Close waits on it
+	c, _ := newTestClient(Options{MaxRetries: 1, Timeout: 50 * time.Millisecond, Seed: 1})
+	start := time.Now()
+	_, err := c.Post(context.Background(), ts.URL, nil)
+	if err == nil {
+		t.Fatal("want error from stalled server")
+	}
+	// Two attempts at 50ms each plus fake (instant) backoff: well under 5s.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled server held the client %v", elapsed)
+	}
+}
+
+func TestTruncatedBodyRetried(t *testing.T) {
+	want := []byte(`{"full":"body"}` + "\n")
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			// Promise more bytes than delivered, then sever: the client
+			// must treat the partial body as a failure, not a response.
+			w.Header().Set("Content-Length", "100")
+			w.Write(want[:5])
+			if fl, ok := w.(http.Flusher); ok {
+				fl.Flush()
+			}
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		}
+		w.Write(want)
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(Options{MaxRetries: 2, Seed: 1})
+	resp, err := c.Post(context.Background(), ts.URL, nil)
+	if err != nil {
+		t.Fatalf("Post: %v", err)
+	}
+	if !bytes.Equal(resp.Body, want) {
+		t.Fatalf("body %q, want the full %q", resp.Body, want)
+	}
+	if resp.Attempts != 2 {
+		t.Fatalf("attempts %d, want 2", resp.Attempts)
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	reg := obs.NewMetrics()
+	collector := &obs.Collector{}
+	c, ft := newTestClient(Options{
+		MaxRetries: -1, BreakerThreshold: 2, BreakerCooldown: time.Second,
+		Seed: 1, Metrics: reg, Observer: collector,
+	})
+
+	// Two consecutive failures open the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Post(context.Background(), ts.URL, nil); err == nil {
+			t.Fatal("want failure")
+		}
+	}
+	if got := counterValue(t, reg, "client.breaker_open_total"); got != 1 {
+		t.Fatalf("client.breaker_open_total = %d, want 1", got)
+	}
+
+	// While open, requests fail fast without touching the server.
+	before := hits.Load()
+	if _, err := c.Post(context.Background(), ts.URL, nil); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err %v, want ErrBreakerOpen", err)
+	}
+	if hits.Load() != before {
+		t.Fatal("open breaker let a request through")
+	}
+	if got := counterValue(t, reg, "client.fastfail_total"); got != 1 {
+		t.Fatalf("client.fastfail_total = %d, want 1", got)
+	}
+
+	// After the cooldown a probe goes through; still unhealthy -> reopen.
+	ft.advance(2 * time.Second)
+	if _, err := c.Post(context.Background(), ts.URL, nil); errors.Is(err, ErrBreakerOpen) || err == nil {
+		t.Fatalf("probe err %v, want a server failure", err)
+	}
+	if got := counterValue(t, reg, "client.breaker_open_total"); got != 2 {
+		t.Fatalf("client.breaker_open_total = %d, want 2 (failed probe reopens)", got)
+	}
+
+	// Healthy probe after another cooldown closes the breaker.
+	healthy.Store(true)
+	ft.advance(2 * time.Second)
+	resp, err := c.Post(context.Background(), ts.URL, nil)
+	if err != nil {
+		t.Fatalf("probe after recovery: %v", err)
+	}
+	if string(resp.Body) != "ok" {
+		t.Fatalf("body %q", resp.Body)
+	}
+	if got := counterValue(t, reg, "client.breaker_closed_total"); got != 1 {
+		t.Fatalf("client.breaker_closed_total = %d, want 1", got)
+	}
+
+	// The transitions were observed in order.
+	var seq []string
+	for _, e := range collector.Events() {
+		if bt, ok := e.(obs.BreakerTransition); ok {
+			seq = append(seq, bt.From+">"+bt.To)
+		}
+	}
+	want := []string{"closed>open", "open>half-open", "half-open>open", "open>half-open", "half-open>closed"}
+	if len(seq) != len(want) {
+		t.Fatalf("transitions %v, want %v", seq, want)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q (all: %v)", i, seq[i], want[i], seq)
+		}
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	ts, hits := flaky(100, http.StatusServiceUnavailable, "", nil)
+	defer ts.Close()
+	c, _ := newTestClient(Options{MaxRetries: -1, BreakerThreshold: -1, Seed: 1})
+	for i := 0; i < 10; i++ {
+		if _, err := c.Post(context.Background(), ts.URL, nil); errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("request %d: breaker fired while disabled", i)
+		}
+	}
+	if got := hits.Load(); got != 10 {
+		t.Fatalf("server saw %d requests, want all 10", got)
+	}
+}
+
+func TestContextCancelStopsRetries(t *testing.T) {
+	ts, _ := flaky(100, http.StatusServiceUnavailable, "", nil)
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := New(Options{MaxRetries: 5, Seed: 1})
+	ft := &fakeTime{t: time.Unix(1000, 0)}
+	c.now = ft.now
+	c.sleep = ft.sleep // returns ctx.Err() once cancelled
+	if _, err := c.Post(ctx, ts.URL, nil); err == nil {
+		t.Fatal("want error with cancelled context")
+	}
+}

@@ -119,6 +119,36 @@ type RequestDone struct {
 // Kind implements Event.
 func (RequestDone) Kind() string { return "request_done" }
 
+// ClientRetry is emitted by the resilient schedd client (internal/client)
+// each time an attempt fails and a retry is scheduled. The delay is
+// wall-clock and observational only: it affects when the next attempt is
+// sent, never the content of any response.
+type ClientRetry struct {
+	// URL is the request target.
+	URL string `json:"url"`
+	// Attempt is the 1-based index of the attempt that failed.
+	Attempt int `json:"attempt"`
+	// Status is the HTTP status that triggered the retry, 0 for transport
+	// errors; Err carries the transport error text when Status is 0.
+	Status int    `json:"status,omitempty"`
+	Err    string `json:"err,omitempty"`
+	// DelayNS is the backoff the client will wait before the next attempt.
+	DelayNS int64 `json:"delay_ns"`
+}
+
+// Kind implements Event.
+func (ClientRetry) Kind() string { return "client_retry" }
+
+// BreakerTransition is emitted by the resilient client's circuit breaker
+// whenever it changes state ("closed", "open", "half-open").
+type BreakerTransition struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// Kind implements Event.
+func (BreakerTransition) Kind() string { return "breaker_transition" }
+
 // Observer receives engine events. Implementations must be safe for the
 // goroutine that runs the engine; observers shared across concurrent runs
 // (e.g. one sink for all Monte Carlo trials) must be safe for concurrent

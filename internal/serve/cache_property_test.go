@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// oracleLRU is the obviously-correct reference: a recency-ordered slice
+// (front = most recently used) plus a body map, mirroring lru's contract:
+// get moves to front; add of an existing key refreshes recency and keeps
+// the original body; add at capacity evicts the back.
+type oracleLRU struct {
+	max    int
+	keys   []string // front = most recently used
+	bodies map[string][]byte
+}
+
+func newOracle(max int) *oracleLRU {
+	return &oracleLRU{max: max, bodies: map[string][]byte{}}
+}
+
+func (o *oracleLRU) touch(key string) {
+	for i, k := range o.keys {
+		if k == key {
+			o.keys = append(o.keys[:i], o.keys[i+1:]...)
+			break
+		}
+	}
+	o.keys = append([]string{key}, o.keys...)
+}
+
+func (o *oracleLRU) get(key string) ([]byte, bool) {
+	b, ok := o.bodies[key]
+	if !ok {
+		return nil, false
+	}
+	o.touch(key)
+	return b, true
+}
+
+func (o *oracleLRU) add(key string, body []byte) {
+	if _, ok := o.bodies[key]; ok {
+		o.touch(key)
+		return
+	}
+	if len(o.keys) >= o.max {
+		last := o.keys[len(o.keys)-1]
+		o.keys = o.keys[:len(o.keys)-1]
+		delete(o.bodies, last)
+	}
+	o.bodies[key] = body
+	o.keys = append([]string{key}, o.keys...)
+}
+
+// TestLRUEvictionOrderProperty drives the real cache and the oracle with
+// the same seeded random get/add stream and demands identical observable
+// behavior throughout: hit/miss pattern, returned bytes, size, and (at the
+// end) the exact surviving key set.
+func TestLRUEvictionOrderProperty(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 17, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const capacity = 16
+			const universe = 40 // > capacity so evictions are common
+			const steps = 4000
+			src := rng.New(seed)
+			c := newLRU(capacity)
+			o := newOracle(capacity)
+			body := func(k int) []byte { return []byte(fmt.Sprintf("body-%d", k)) }
+			for step := 0; step < steps; step++ {
+				k := src.Intn(universe)
+				key := fmt.Sprintf("key-%d", k)
+				if src.Bool() {
+					gotB, gotOK := c.get(key)
+					wantB, wantOK := o.get(key)
+					if gotOK != wantOK || !bytes.Equal(gotB, wantB) {
+						t.Fatalf("step %d: get(%s) = (%q, %v), oracle (%q, %v)",
+							step, key, gotB, gotOK, wantB, wantOK)
+					}
+				} else {
+					c.add(key, body(k))
+					o.add(key, body(k))
+				}
+				if c.len() != len(o.keys) {
+					t.Fatalf("step %d: len %d, oracle %d", step, c.len(), len(o.keys))
+				}
+			}
+			// The survivors — and only they — are retrievable, with the
+			// oracle's bytes: eviction order matched on every step.
+			for k := 0; k < universe; k++ {
+				key := fmt.Sprintf("key-%d", k)
+				wantB, wantOK := o.bodies[key]
+				gotB, gotOK := c.get(key)
+				if gotOK != wantOK || !bytes.Equal(gotB, wantB) {
+					t.Fatalf("final: get(%s) = (%q, %v), oracle (%q, %v)", key, gotB, gotOK, wantB, wantOK)
+				}
+			}
+		})
+	}
+}
+
+func gaugeValue(t *testing.T, s *Server, name string) float64 {
+	t.Helper()
+	for _, g := range s.Metrics().Snapshot().Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// TestDrainWithQueuedRequests pins the drain contract for a backlog:
+// requests already queued when Drain begins run to completion with full
+// responses, and the serve.queue_depth gauge returns to zero.
+func TestDrainWithQueuedRequests(t *testing.T) {
+	s := NewServer(Options{Workers: 1, QueueDepth: 4})
+	dequeued := make(chan *job, 1)
+	release := make(chan struct{})
+	s.testHookDequeued = func(j *job) {
+		select {
+		case dequeued <- j:
+		default:
+		}
+		<-release
+	}
+
+	// Distinct bodies so none coalesce: one held in the worker, three
+	// queued behind it.
+	results := make(chan *httptest.ResponseRecorder, 4)
+	go func() { results <- post(s, "/v1/iterate", iterateBody("min-min", "det", 1)) }()
+	<-dequeued
+	for i := 2; i <= 4; i++ {
+		i := i
+		go func() { results <- post(s, "/v1/iterate", iterateBody("min-min", "det", uint64(i))) }()
+	}
+	for s.queued.Load() != 3 {
+		time.Sleep(time.Millisecond)
+	}
+	if got := gaugeValue(t, s, "serve.queue_depth"); got != 3 {
+		t.Fatalf("serve.queue_depth = %g with 3 queued, want 3", got)
+	}
+
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drainErr <- s.Drain(ctx)
+	}()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	for i := 0; i < 4; i++ {
+		if rec := <-results; rec.Code != http.StatusOK {
+			t.Fatalf("queued request: status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := gaugeValue(t, s, "serve.queue_depth"); got != 0 {
+		t.Fatalf("serve.queue_depth = %g after drain, want 0", got)
+	}
+	if got := s.queued.Load(); got != 0 {
+		t.Fatalf("queued counter %d after drain, want 0", got)
+	}
+}

@@ -94,10 +94,17 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
-// apiError pairs an HTTP status with a client-facing message.
+// apiError pairs an HTTP status with a client-facing message, plus the
+// response headers some statuses require (Allow on 405, Retry-After on
+// retryable rejections).
 type apiError struct {
 	status int
 	msg    string
+	// allow, when non-empty, becomes the Allow header (required on 405).
+	allow string
+	// retryAfterSec, when positive, becomes the Retry-After header, telling
+	// resilient clients how long to back off before retrying.
+	retryAfterSec int
 }
 
 func (e *apiError) Error() string { return e.msg }

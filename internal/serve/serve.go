@@ -16,10 +16,12 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,15 +81,21 @@ type Server struct {
 	queued    atomic.Int64
 	inflightN atomic.Int64
 
-	mRequests *obs.Counter
-	mHits     *obs.Counter
-	mMisses   *obs.Counter
-	mShed     *obs.Counter
-	mTimeouts *obs.Counter
-	mErrors   *obs.Counter
-	gQueue    *obs.Gauge
-	gInflight *obs.Gauge
-	hLatency  *obs.Histogram
+	// flights coalesces concurrent identical cache misses (singleflight):
+	// the first request for a key computes, followers wait for its bytes.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	mRequests  *obs.Counter
+	mHits      *obs.Counter
+	mMisses    *obs.Counter
+	mCoalesced *obs.Counter
+	mShed      *obs.Counter
+	mTimeouts  *obs.Counter
+	mErrors    *obs.Counter
+	gQueue     *obs.Gauge
+	gInflight  *obs.Gauge
+	hLatency   *obs.Histogram
 
 	// testHookDequeued, when non-nil, runs in the worker goroutine after a
 	// job is dequeued and before it is computed. Tests use it to hold jobs
@@ -105,6 +113,15 @@ type job struct {
 }
 
 type jobResult struct {
+	body []byte
+	err  *apiError
+}
+
+// flight is one in-flight computation for a cache key. The leader fills
+// body/err and closes done; followers wait on done (or their own deadline)
+// and reuse the leader's bytes — one computation, byte-identical responses.
+type flight struct {
+	done chan struct{}
 	body []byte
 	err  *apiError
 }
@@ -128,18 +145,20 @@ func NewServer(opts Options) *Server {
 		reg = obs.NewMetrics()
 	}
 	s := &Server{
-		opts:  opts,
-		reg:   reg,
-		queue: make(chan *job, opts.QueueDepth),
+		opts:    opts,
+		reg:     reg,
+		queue:   make(chan *job, opts.QueueDepth),
+		flights: make(map[string]*flight),
 
-		mRequests: reg.Counter("serve.requests_total"),
-		mHits:     reg.Counter("serve.cache_hits"),
-		mMisses:   reg.Counter("serve.cache_misses"),
-		mShed:     reg.Counter("serve.shed_total"),
-		mTimeouts: reg.Counter("serve.timeouts_total"),
-		mErrors:   reg.Counter("serve.errors_total"),
-		gQueue:    reg.Gauge("serve.queue_depth"),
-		gInflight: reg.Gauge("serve.inflight"),
+		mRequests:  reg.Counter("serve.requests_total"),
+		mHits:      reg.Counter("serve.cache_hits"),
+		mMisses:    reg.Counter("serve.cache_misses"),
+		mCoalesced: reg.Counter("serve.coalesced_total"),
+		mShed:      reg.Counter("serve.shed_total"),
+		mTimeouts:  reg.Counter("serve.timeouts_total"),
+		mErrors:    reg.Counter("serve.errors_total"),
+		gQueue:     reg.Gauge("serve.queue_depth"),
+		gInflight:  reg.Gauge("serve.inflight"),
 		// Latency is wall-clock and observational only.
 		hLatency: reg.Histogram("serve.latency_ms", 0, 1000, 50),
 	}
@@ -242,13 +261,42 @@ func (s *Server) worker() {
 	}
 }
 
+// joinFlight registers interest in the computation for key. The first
+// caller becomes the leader (computes and resolves the flight); later
+// callers are followers and wait on the returned flight's done channel.
+func (s *Server) joinFlight(key string) (*flight, bool) {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if f, ok := s.flights[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	return f, true
+}
+
+// resolveFlight publishes the leader's result to followers and retires the
+// flight. Later identical requests start fresh (and normally hit the cache
+// the worker just populated).
+func (s *Server) resolveFlight(key string, f *flight, body []byte, err *apiError) {
+	f.body, f.err = body, err
+	s.flightMu.Lock()
+	delete(s.flights, key)
+	s.flightMu.Unlock()
+	close(f.done)
+}
+
 // handleSchedule serves one scheduling endpoint: validate, consult the
-// cache, or queue for a worker under the request deadline.
+// cache, join the key's in-flight computation, or queue for a worker under
+// the request deadline.
 func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now() // observational only: latency metrics and events
+		// Every arrival counts, whatever its outcome: rejected methods,
+		// draining refusals and shed requests all show up in requests_total.
+		s.mRequests.Inc()
 		if r.Method != http.MethodPost {
-			s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, msg: "use POST"})
+			s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, msg: "use POST", allow: http.MethodPost})
 			s.observe(ep, http.StatusMethodNotAllowed, "", nil, start)
 			return
 		}
@@ -258,11 +306,18 @@ func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 			return
 		}
 		defer s.endRequest()
-		s.mRequests.Inc()
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 		if err != nil {
-			s.writeError(w, badRequest("reading body: %v", err))
-			s.observe(ep, http.StatusBadRequest, "", nil, start)
+			aerr := badRequest("reading body: %v", err)
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				aerr = &apiError{
+					status: http.StatusRequestEntityTooLarge,
+					msg:    fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+				}
+			}
+			s.writeError(w, aerr)
+			s.observe(ep, aerr.status, "", nil, start)
 			return
 		}
 		p, aerr := parseRequest(ep, body)
@@ -279,13 +334,38 @@ func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 				return
 			}
 		}
-		s.mMisses.Inc()
 		timeout := s.opts.RequestTimeout
 		if t := time.Duration(p.req.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
 			timeout = t
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
+
+		f, leader := s.joinFlight(p.key)
+		if !leader {
+			// A concurrent identical request is already computing: wait for
+			// its bytes instead of queueing a duplicate job.
+			s.mCoalesced.Inc()
+			select {
+			case <-f.done:
+				if f.err != nil {
+					if f.err.status == http.StatusGatewayTimeout {
+						s.mTimeouts.Inc()
+					}
+					s.writeError(w, f.err)
+					s.observe(ep, f.err.status, "coalesced", p, start)
+					return
+				}
+				s.writeBody(w, f.body, "coalesced")
+				s.observe(ep, http.StatusOK, "coalesced", p, start)
+			case <-ctx.Done():
+				s.mTimeouts.Inc()
+				s.writeError(w, &apiError{status: http.StatusGatewayTimeout, msg: "deadline exceeded"})
+				s.observe(ep, http.StatusGatewayTimeout, "", p, start)
+			}
+			return
+		}
+		s.mMisses.Inc()
 		j := &job{ctx: ctx, p: p, done: make(chan jobResult, 1)}
 		s.gQueue.Set(float64(s.queued.Add(1)))
 		select {
@@ -293,12 +373,15 @@ func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 		default:
 			s.gQueue.Set(float64(s.queued.Add(-1)))
 			s.mShed.Inc()
-			s.writeError(w, &apiError{status: http.StatusTooManyRequests, msg: "queue full"})
+			aerr := &apiError{status: http.StatusTooManyRequests, msg: "queue full", retryAfterSec: 1}
+			s.resolveFlight(p.key, f, nil, aerr)
+			s.writeError(w, aerr)
 			s.observe(ep, http.StatusTooManyRequests, "", p, start)
 			return
 		}
 		select {
 		case res := <-j.done:
+			s.resolveFlight(p.key, f, res.body, res.err)
 			if res.err != nil {
 				if res.err.status == http.StatusGatewayTimeout {
 					s.mTimeouts.Inc()
@@ -311,9 +394,13 @@ func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 			s.observe(ep, http.StatusOK, "miss", p, start)
 		case <-ctx.Done():
 			// The job stays queued; a worker will discard it. Its response
-			// was never produced, so determinism is untouched.
+			// was never produced, so determinism is untouched. Followers see
+			// the same timeout (their own deadlines are no longer than the
+			// work they were waiting on).
 			s.mTimeouts.Inc()
-			s.writeError(w, &apiError{status: http.StatusGatewayTimeout, msg: "deadline exceeded"})
+			aerr := &apiError{status: http.StatusGatewayTimeout, msg: "deadline exceeded"}
+			s.resolveFlight(p.key, f, nil, aerr)
+			s.writeError(w, aerr)
 			s.observe(ep, http.StatusGatewayTimeout, "", p, start)
 		}
 	}
@@ -331,7 +418,7 @@ type healthState struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, msg: "use GET"})
+		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, msg: "use GET", allow: http.MethodGet})
 		return
 	}
 	h := healthState{
@@ -359,7 +446,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // by default, the obs text rendering with ?format=text.
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, msg: "use GET"})
+		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, msg: "use GET", allow: http.MethodGet})
 		return
 	}
 	snap := s.reg.Snapshot()
@@ -377,9 +464,9 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	w.Write(append(body, '\n'))
 }
 
-// writeBody writes a 200 scheduling response. cacheState goes in the
-// X-Schedd-Cache header: headers may differ between hit and miss, bodies
-// never do.
+// writeBody writes a 200 scheduling response. cacheState ("hit", "miss" or
+// "coalesced") goes in the X-Schedd-Cache header: headers may differ by how
+// the bytes were obtained, bodies never do.
 func (s *Server) writeBody(w http.ResponseWriter, body []byte, cacheState string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Schedd-Cache", cacheState)
@@ -389,6 +476,12 @@ func (s *Server) writeBody(w http.ResponseWriter, body []byte, cacheState string
 func (s *Server) writeError(w http.ResponseWriter, aerr *apiError) {
 	if aerr.status >= http.StatusInternalServerError && aerr.status != http.StatusServiceUnavailable {
 		s.mErrors.Inc()
+	}
+	if aerr.allow != "" {
+		w.Header().Set("Allow", aerr.allow)
+	}
+	if aerr.retryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(aerr.retryAfterSec))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(aerr.status)

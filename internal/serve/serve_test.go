@@ -210,11 +210,12 @@ func TestConcurrentRequestsBitIdentical(t *testing.T) {
 	}
 	hits := counterValue(t, s, "serve.cache_hits")
 	misses := counterValue(t, s, "serve.cache_misses")
-	if hits+misses != distinct*perBody {
-		t.Fatalf("hits(%d)+misses(%d) != %d requests", hits, misses, distinct*perBody)
+	coalesced := counterValue(t, s, "serve.coalesced_total")
+	if hits+misses+coalesced != distinct*perBody {
+		t.Fatalf("hits(%d)+misses(%d)+coalesced(%d) != %d requests", hits, misses, coalesced, distinct*perBody)
 	}
-	// Warm-phase duplicates may race past the cache, but each distinct body
-	// is computed at least once and at most once per concurrent duplicate.
+	// Each distinct body is computed at least once; concurrent duplicates
+	// either hit the cache or coalesce onto the in-flight computation.
 	if misses < distinct {
 		t.Fatalf("misses %d < %d distinct bodies", misses, distinct)
 	}
@@ -307,6 +308,9 @@ func TestQueueBackpressure(t *testing.T) {
 	rec := post(s, "/v1/iterate", iterateBody("min-min", "det", 3))
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("third request: status %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "1" {
+		t.Fatalf("shed 429 Retry-After %q, want 1", got)
 	}
 	if shed := counterValue(t, s, "serve.shed_total"); shed != 1 {
 		t.Fatalf("serve.shed_total = %d, want 1", shed)
@@ -453,6 +457,134 @@ func TestCacheDisabled(t *testing.T) {
 	if !bytes.Equal(a.Body.Bytes(), b.Body.Bytes()) {
 		t.Fatal("recomputed responses differ for identical requests")
 	}
+}
+
+// TestOversizedBodyReturns413 pins the body-limit contract: a request
+// larger than MaxBodyBytes is 413 Request Entity Too Large, not a generic
+// 400 (the limit error used to be swallowed by the read-error path).
+func TestOversizedBodyReturns413(t *testing.T) {
+	s := NewServer(Options{MaxBodyBytes: 64})
+	defer drain(t, s)
+	big := `{"etc":[[` + strings.Repeat("1,", 200) + `1]],"heuristic":"min-min"}`
+	rec := post(s, "/v1/map", big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", rec.Code, rec.Body.String())
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || !strings.Contains(er.Error, "64") {
+		t.Fatalf("413 body should name the limit: %s", rec.Body.String())
+	}
+	// A body under the limit still parses (the limit, not the detector,
+	// decides).
+	if rec := post(s, "/v1/map", `{"etc":[[1]],"heuristic":"met"}`); rec.Code != http.StatusOK {
+		t.Fatalf("small body status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestMethodNotAllowedSetsAllow pins RFC 9110: every 405 carries the Allow
+// header naming the methods the resource supports.
+func TestMethodNotAllowedSetsAllow(t *testing.T) {
+	s := NewServer(Options{})
+	defer drain(t, s)
+	cases := []struct {
+		method, path, allow string
+	}{
+		{http.MethodGet, "/v1/map", "POST"},
+		{http.MethodDelete, "/v1/iterate", "POST"},
+		{http.MethodPost, "/healthz", "GET"},
+		{http.MethodPost, "/metricz", "GET"},
+	}
+	for _, tc := range cases {
+		rec := do(s, tc.method, tc.path, "")
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Fatalf("%s %s: status %d, want 405", tc.method, tc.path, rec.Code)
+		}
+		if got := rec.Header().Get("Allow"); got != tc.allow {
+			t.Fatalf("%s %s: Allow %q, want %q", tc.method, tc.path, got, tc.allow)
+		}
+	}
+}
+
+// TestRequestsTotalCountsRejections pins the counting contract: scheduling
+// arrivals rejected with 405 or draining-503 count in serve.requests_total
+// exactly like shed 429s always did.
+func TestRequestsTotalCountsRejections(t *testing.T) {
+	s := NewServer(Options{})
+	if rec := do(s, http.MethodGet, "/v1/map", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", rec.Code)
+	}
+	if got := counterValue(t, s, "serve.requests_total"); got != 1 {
+		t.Fatalf("serve.requests_total = %d after 405, want 1", got)
+	}
+	drain(t, s)
+	if rec := post(s, "/v1/map", `{"etc":[[1]],"heuristic":"met"}`); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 while drained", rec.Code)
+	}
+	if got := counterValue(t, s, "serve.requests_total"); got != 2 {
+		t.Fatalf("serve.requests_total = %d after draining 503, want 2", got)
+	}
+	// healthz/metricz are not scheduling requests and stay uncounted.
+	do(s, http.MethodGet, "/metricz", "")
+	if got := counterValue(t, s, "serve.requests_total"); got != 2 {
+		t.Fatalf("serve.requests_total = %d after metricz, want 2", got)
+	}
+}
+
+// TestSingleflightCoalescesIdenticalMisses pins the coalescing contract:
+// N concurrent identical cache misses produce exactly one computation; the
+// followers wait for the leader's bytes and every response is
+// byte-identical. Run under -race by scripts/check.sh.
+func TestSingleflightCoalescesIdenticalMisses(t *testing.T) {
+	s := NewServer(Options{Workers: 1, QueueDepth: 8})
+	dequeued := make(chan *job, 1)
+	release := make(chan struct{})
+	s.testHookDequeued = func(j *job) {
+		select {
+		case dequeued <- j:
+		default:
+		}
+		<-release
+	}
+
+	const followers = 7
+	body := iterateBody("sufferage", "random", 99)
+	results := make(chan *httptest.ResponseRecorder, followers+1)
+	go func() { results <- post(s, "/v1/iterate", body) }()
+	<-dequeued // the leader's job is being held in the worker
+	for i := 0; i < followers; i++ {
+		go func() { results <- post(s, "/v1/iterate", body) }()
+	}
+	// Followers register before the leader resolves; wait for all of them.
+	for counterValue(t, s, "serve.coalesced_total") != followers {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+
+	var bodies [][]byte
+	for i := 0; i < followers+1; i++ {
+		rec := <-results
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		bodies = append(bodies, rec.Body.Bytes())
+	}
+	for i := 1; i < len(bodies); i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs from response 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	if misses := counterValue(t, s, "serve.cache_misses"); misses != 1 {
+		t.Fatalf("serve.cache_misses = %d, want 1 (one computation for %d identical requests)", misses, followers+1)
+	}
+	if hits := counterValue(t, s, "serve.cache_hits"); hits != 0 {
+		t.Fatalf("serve.cache_hits = %d, want 0", hits)
+	}
+	// After the flight resolves, the cache serves the same bytes.
+	rec := post(s, "/v1/iterate", body)
+	if rec.Header().Get("X-Schedd-Cache") != "hit" || !bytes.Equal(rec.Body.Bytes(), bodies[0]) {
+		t.Fatalf("post-flight request: cache %q", rec.Header().Get("X-Schedd-Cache"))
+	}
+	drain(t, s)
 }
 
 func equalInts(a, b []int) bool {

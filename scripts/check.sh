@@ -4,8 +4,10 @@
 #
 #   gofmt clean, go vet, build, full test suite, paper self-check, and the
 #   schedd serving smoke (ephemeral port, pinned Table-1 trace, cache
-#   byte-identity, graceful drain). The -race leg covers internal/serve's
-#   concurrency tests.
+#   byte-identity, fault-injected recovery, graceful drain). The -race leg
+#   covers internal/serve's concurrency tests plus the resilience layer
+#   (internal/faults, internal/client) and both daemons' end-to-end tests,
+#   including the fault-injected selfcheck and schedload's fault proxy.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,8 +28,8 @@ echo "[ok  ] go build"
 go test ./...
 echo "[ok  ] go test"
 
-go test -race ./internal/...
-echo "[ok  ] go test -race (internal)"
+go test -race ./internal/... ./cmd/...
+echo "[ok  ] go test -race (internal + cmd)"
 
 go run ./cmd/paperrepro
 echo "[ok  ] paperrepro"
