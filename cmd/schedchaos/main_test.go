@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// TestAllScenariosPass is the same smoke leg scripts/check.sh runs: every
+// builtin scenario replays clean and the process would exit 0.
+func TestAllScenariosPass(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-scenario", "all"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	out := stdout.String()
+	if strings.Contains(out, "[FAIL]") {
+		t.Fatalf("invariant failure in output:\n%s", out)
+	}
+	if !strings.Contains(out, "every invariant ok") {
+		t.Fatalf("missing summary line:\n%s", out)
+	}
+	for _, sc := range chaos.Builtin() {
+		if !strings.Contains(out, "scenario "+sc.Name) {
+			t.Fatalf("scenario %s missing from output:\n%s", sc.Name, out)
+		}
+	}
+}
+
+// TestStdoutDeterministic pins the CLI half of the determinism promise:
+// two runs of the same scenario and seed produce byte-identical stdout,
+// including the embedded JSON verdict.
+func TestStdoutDeterministic(t *testing.T) {
+	var runs [][]byte
+	for i := 0; i < 2; i++ {
+		var stdout, stderr bytes.Buffer
+		if err := run([]string{"-scenario", "storm", "-json"}, &stdout, &stderr); err != nil {
+			t.Fatalf("run %d: %v\nstderr: %s", i, err, stderr.String())
+		}
+		runs = append(runs, stdout.Bytes())
+	}
+	if !bytes.Equal(runs[0], runs[1]) {
+		t.Fatalf("stdout differs across identical runs:\n%s\nvs\n%s", runs[0], runs[1])
+	}
+}
+
+func TestReportFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-scenario", "breaker-trip", "-report", path}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep chaos.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if rep.Scenario != "breaker-trip" || !rep.Pass {
+		t.Fatalf("report %+v, want breaker-trip pass", rep)
+	}
+}
+
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, sc := range chaos.Builtin() {
+		if !strings.Contains(stdout.String(), sc.Name) {
+			t.Fatalf("-list missing %s:\n%s", sc.Name, stdout.String())
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-scenario", "nope"}, &stdout, &stderr); err == nil ||
+		!strings.Contains(err.Error(), "available") {
+		t.Fatalf("unknown scenario error %v, want available-list error", err)
+	}
+
+	stderr.Reset()
+	if err := run([]string{"-bogus"}, &stdout, &stderr); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if !strings.Contains(stderr.String(), "Usage") && !strings.Contains(stderr.String(), "-scenario") {
+		t.Fatalf("flag error did not print usage to stderr:\n%s", stderr.String())
+	}
+
+	stderr.Reset()
+	if err := run([]string{"extra"}, &stdout, &stderr); err == nil {
+		t.Fatal("positional argument accepted")
+	}
+
+	// The seed override must not collide with the harness's panic sentinel.
+	if err := run([]string{"-scenario", "storm", "-seed", strconv.FormatUint(chaos.PanicSeed, 10)}, &stdout, &stderr); err == nil {
+		t.Fatal("PanicSeed accepted as a scenario seed override")
+	}
+}

@@ -24,8 +24,11 @@
 // both bodies bit-for-bit, then replays it through the deterministic fault
 // injector (internal/faults) with the resilient client (internal/client),
 // verifying recovery and byte-identity under injected 503s, dropped
-// connections and truncated bodies, drains, and exits 0 — the smoke test
-// run by scripts/check.sh.
+// connections and truncated bodies, drives a deliberate worker panic and
+// verifies isolation (structured 500, serve.panics_total, cache intact),
+// replays a builtin chaos scenario (internal/chaos) requiring every
+// invariant to hold, drains, and exits 0 — the smoke test run by
+// scripts/check.sh.
 //
 // -fault-inject is a STAGING flag: it wraps the whole service in the
 // seeded fault injector (spec grammar: seed=N,latency=P:DUR,
@@ -48,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/client"
 	"repro/internal/experiments"
 	"repro/internal/faults"
@@ -105,6 +109,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		defer f.Close()
 		logSink = obs.NewJSONL(f)
 		opts.Observer = logSink
+	}
+	if *selfcheck {
+		// The selfcheck's panic leg drives a deliberate panic through the
+		// worker pool to prove isolation; the trigger fires only on the chaos
+		// sentinel seed, which scenario validation refuses for real workloads.
+		opts.PanicTrigger = func(seed uint64) {
+			if seed == chaos.PanicSeed {
+				panic("selfcheck: deliberate panic")
+			}
+		}
 	}
 	srv := serve.NewServer(opts)
 
@@ -257,6 +271,12 @@ func selfCheck(srv *serve.Server, stdout io.Writer) error {
 	if err := faultLeg(srv, base, first, reqBody, stdout); err != nil {
 		return err
 	}
+	if err := panicLeg(base, first, reqBody, stdout); err != nil {
+		return err
+	}
+	if err := chaosLeg(stdout); err != nil {
+		return err
+	}
 
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
@@ -313,22 +333,9 @@ func faultLeg(srv *serve.Server, cleanBase string, want, reqBody []byte, stdout 
 	}
 	fmt.Fprintf(stdout, "[ok  ] %d fault-injected replays recovered byte-identical responses\n", replays)
 
-	mresp, err := http.Get(cleanBase + "/metricz")
+	counters, err := counterSnapshot(cleanBase)
 	if err != nil {
 		return err
-	}
-	snapBody, err := io.ReadAll(mresp.Body)
-	mresp.Body.Close()
-	if err != nil {
-		return err
-	}
-	var snap obs.Snapshot
-	if err := json.Unmarshal(snapBody, &snap); err != nil {
-		return fmt.Errorf("decoding /metricz: %w", err)
-	}
-	counters := map[string]int64{}
-	for _, c := range snap.Counters {
-		counters[c.Name] = c.Value
 	}
 	for _, name := range []string{
 		"faults.injected_total",
@@ -352,6 +359,110 @@ func faultLeg(srv *serve.Server, cleanBase string, want, reqBody []byte, stdout 
 		return fmt.Errorf("fault leg shutdown: %w", err)
 	}
 	return nil
+}
+
+// panicLeg proves worker-level panic isolation on the live daemon: a
+// request carrying the chaos sentinel seed panics inside the worker, the
+// client receives a structured 500 with code "panic" (and no panic detail),
+// serve.panics_total increments, and the daemon keeps serving the pinned
+// Table-1 request byte-identically from cache. Plain http.Post keeps the
+// fault leg's seeded decision streams untouched.
+func panicLeg(base string, want, reqBody []byte, stdout io.Writer) error {
+	panicBody, err := json.Marshal(serve.Request{
+		ETC:       experiments.MinMinExampleETC().Values(),
+		Heuristic: "min-min",
+		Ties:      "det",
+		Seed:      chaos.PanicSeed,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/iterate", "application/json", bytes.NewReader(panicBody))
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		return fmt.Errorf("panic leg: status %d, want 500: %s", resp.StatusCode, body)
+	}
+	var er serve.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		return fmt.Errorf("panic leg: decoding error envelope: %w (%s)", err, body)
+	}
+	if er.Error.Code != serve.CodePanic {
+		return fmt.Errorf("panic leg: error code %q, want %q", er.Error.Code, serve.CodePanic)
+	}
+	if strings.Contains(er.Error.Message, "deliberate") {
+		return fmt.Errorf("panic leg: panic detail leaked into the response: %q", er.Error.Message)
+	}
+	counters, err := counterSnapshot(base)
+	if err != nil {
+		return err
+	}
+	if counters["serve.panics_total"] != 1 {
+		return fmt.Errorf("panic leg: serve.panics_total = %d, want 1", counters["serve.panics_total"])
+	}
+	after, hdr, err := postIterate(base, reqBody)
+	if err != nil {
+		return fmt.Errorf("panic leg: pinned request after panic: %w", err)
+	}
+	if hdr != "hit" {
+		return fmt.Errorf("panic leg: post-panic X-Schedd-Cache %q, want hit", hdr)
+	}
+	if !bytes.Equal(after, want) {
+		return fmt.Errorf("panic leg: post-panic cached body differs from the clean response")
+	}
+	fmt.Fprintln(stdout, "[ok  ] deliberate panic isolated: structured 500, panics_total=1, cache intact")
+	return nil
+}
+
+// chaosLeg replays one builtin chaos scenario in-process and requires every
+// harness invariant to hold — the end-to-end hardening smoke.
+func chaosLeg(stdout io.Writer) error {
+	sc, err := chaos.ByName("breaker-trip")
+	if err != nil {
+		return err
+	}
+	rep, err := chaos.Run(sc)
+	if err != nil {
+		return fmt.Errorf("chaos leg: %w", err)
+	}
+	if !rep.Pass {
+		for _, inv := range rep.Invariants {
+			if !inv.OK {
+				return fmt.Errorf("chaos leg: invariant %s violated: %s", inv.Name, inv.Detail)
+			}
+		}
+		return fmt.Errorf("chaos leg: scenario %s failed", rep.Scenario)
+	}
+	fmt.Fprintf(stdout, "[ok  ] chaos scenario %s: %d invariants hold\n", rep.Scenario, len(rep.Invariants))
+	return nil
+}
+
+// counterSnapshot fetches /metricz and indexes the counters by name.
+func counterSnapshot(base string) (map[string]int64, error) {
+	resp, err := http.Get(base + "/metricz")
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return nil, fmt.Errorf("decoding /metricz: %w", err)
+	}
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	return counters, nil
 }
 
 func postIterate(base string, body []byte) (respBody []byte, cacheHeader string, err error) {

@@ -22,6 +22,8 @@ func TestSelfcheck(t *testing.T) {
 		"[ok  ] metricz reports the cache hit",
 		"[ok  ] 16 fault-injected replays recovered byte-identical responses",
 		"[ok  ] metricz reports 13 injected faults (3 rejected, 3 dropped, 5 truncated) and 11 client retries",
+		"[ok  ] deliberate panic isolated: structured 500, panics_total=1, cache intact",
+		"[ok  ] chaos scenario breaker-trip: 7 invariants hold",
 		"[ok  ] drained",
 	} {
 		if !strings.Contains(stdout.String(), want) {
@@ -46,22 +48,48 @@ func TestSelfcheckWritesAccessLog(t *testing.T) {
 	// The selfcheck issues two clean scheduling requests (miss then hit),
 	// then the fault-injection leg replays the same body; every replay that
 	// reaches the engine is a cache hit. Faults that stop a request before
-	// the engine (rejects, drops) leave no request_done line.
-	if len(lines) < 3 {
-		t.Fatalf("%d access-log lines, want at least 3 (clean miss + clean hit + fault-leg hits):\n%s", len(lines), data)
+	// the engine (rejects, drops) leave no request_done line. The panic leg
+	// adds exactly one status-500 record — panic-recovered requests must land
+	// in the access log like any other outcome — plus one more cache hit.
+	if len(lines) < 4 {
+		t.Fatalf("%d access-log lines, want at least 4 (clean miss + hits + panic 500):\n%s", len(lines), data)
 	}
+	// The sink also records the panic leg's panic_recovered event; keep only
+	// request_done records for the per-request assertions below.
+	recovered := 0
+	var done []string
 	for _, line := range lines {
+		if strings.Contains(line, `"event":"panic_recovered"`) {
+			recovered++
+			continue
+		}
 		if !strings.Contains(line, `"event":"request_done"`) || !strings.Contains(line, `"endpoint":"/v1/iterate"`) {
 			t.Fatalf("unexpected access-log line: %s", line)
 		}
+		done = append(done, line)
 	}
+	if recovered != 1 {
+		t.Fatalf("%d panic_recovered lines, want exactly 1:\n%s", recovered, data)
+	}
+	lines = done
 	if !strings.Contains(lines[0], `"cache":"miss"`) {
 		t.Fatalf("first access-log line should be the computed miss:\n%s", data)
 	}
+	panicLines := 0
 	for _, line := range lines[1:] {
-		if !strings.Contains(line, `"cache":"hit"`) {
-			t.Fatalf("every line after the first should be a cache hit: %s", line)
+		if strings.Contains(line, `"status":500`) {
+			panicLines++
+			if strings.Contains(line, `"cache"`) {
+				t.Fatalf("panic-recovered record claims a cache state: %s", line)
+			}
+			continue
 		}
+		if !strings.Contains(line, `"cache":"hit"`) {
+			t.Fatalf("every non-panic line after the first should be a cache hit: %s", line)
+		}
+	}
+	if panicLines != 1 {
+		t.Fatalf("%d status-500 access-log lines, want exactly 1 (the panic leg):\n%s", panicLines, data)
 	}
 }
 

@@ -1,0 +1,69 @@
+package hcsched
+
+import (
+	"repro/internal/chaos"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Hardening & chaos layer (see internal/chaos and cmd/schedchaos): the
+// serving path's failure story made machine-checkable. Every non-2xx
+// response carries a structured error envelope with a documented code;
+// worker panics are isolated into structured 500s; and phased, seeded chaos
+// scenarios replay fault storms against an in-process stack, asserting that
+// every response is either a documented error or byte-identical to its
+// fault-free golden and that the service's metrics, queue, goroutines and
+// circuit breaker all return to a clean steady state.
+type (
+	// ErrorResponse is the uniform JSON error envelope of every non-2xx
+	// scheduling response: {"error":{"code":...,"message":...,"fields":...}}.
+	ErrorResponse = serve.ErrorResponse
+	// ErrorDetail is the envelope payload: a documented code, a
+	// deterministic message and, for validation failures, field errors.
+	ErrorDetail = serve.ErrorDetail
+	// FieldError locates one validation failure, e.g. path "etc[2][0]".
+	FieldError = serve.FieldError
+	// ChaosScenario is a phased, seeded failure schedule.
+	ChaosScenario = chaos.Scenario
+	// ChaosPhase is one request-counted segment of a scenario timeline.
+	ChaosPhase = chaos.Phase
+	// ChaosReport is a scenario run's deterministic verdict: same seed,
+	// same bytes.
+	ChaosReport = chaos.Report
+	// ChaosPhaseReport is one phase's outcome tally inside a ChaosReport.
+	ChaosPhaseReport = chaos.PhaseReport
+	// ChaosInvariant is one machine-checked invariant's verdict.
+	ChaosInvariant = chaos.InvariantResult
+	// PanicRecoveredEvent records one isolated worker panic in an observer.
+	PanicRecoveredEvent = obs.PanicRecovered
+)
+
+// Error-envelope codes returned by the serving layer.
+const (
+	ErrCodeBadRequest       = serve.CodeBadRequest
+	ErrCodeMethodNotAllowed = serve.CodeMethodNotAllowed
+	ErrCodePayloadTooLarge  = serve.CodePayloadTooLarge
+	ErrCodeValidation       = serve.CodeValidationFailed
+	ErrCodeOverloaded       = serve.CodeOverloaded
+	ErrCodeInternal         = serve.CodeInternal
+	ErrCodePanic            = serve.CodePanic
+	ErrCodeDraining         = serve.CodeDraining
+	ErrCodeDeadline         = serve.CodeDeadlineExceeded
+)
+
+// ChaosPanicSeed is the sentinel request seed chaos scenarios use to
+// schedule deliberate worker panics; scenario validation refuses it as a
+// workload seed.
+const ChaosPanicSeed = chaos.PanicSeed
+
+// RunChaos replays one scenario against a fresh in-process serving stack
+// and returns its machine-checked verdict. The report is byte-identical
+// across runs of the same scenario and seed.
+func RunChaos(sc ChaosScenario) (*ChaosReport, error) { return chaos.Run(sc) }
+
+// BuiltinChaosScenarios returns the stock scenarios (storm, truncate-flood,
+// breaker-trip, panic-isolation) with pinned seeds.
+func BuiltinChaosScenarios() []ChaosScenario { return chaos.Builtin() }
+
+// ChaosScenarioByName finds a builtin scenario by name.
+func ChaosScenarioByName(name string) (ChaosScenario, error) { return chaos.ByName(name) }

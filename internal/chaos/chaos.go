@@ -1,0 +1,587 @@
+// Package chaos is the deterministic chaos harness: it composes
+// internal/faults specs into phased, seeded scenario timelines, drives a
+// schedload-style workload through an in-process serve stack behind a real
+// loopback listener, and machine-checks invariants after every run — every
+// response is either a documented error envelope or byte-identical to the
+// fault-free golden; serve's metrics conserve (requests_total equals the sum
+// of per-outcome counters); queue depth and in-flight return to zero; the
+// goroutine count returns to its pre-scenario baseline; and the circuit
+// breaker only ever takes legal state-machine transitions.
+//
+// Determinism is the point: a scenario is replayed request by request from
+// an explicit seed, serially, so the injector's decision stream — and with
+// it every count in the verdict Report — is exactly reproducible. The same
+// seed produces a byte-identical report; flipping any fault probability
+// changes it deterministically. Wall-clock shapes only when requests are
+// sent (backoff, injected latency), never what any response contains, and
+// no timing value appears in the report.
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/etc"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+// PanicSeed is the sentinel request seed the harness's serve.PanicTrigger
+// panics on: scenarios schedule deliberate worker panics by sending an
+// otherwise-valid request with this seed. Workload seeds must differ.
+const PanicSeed uint64 = 0x70616e6963 // "panic"
+
+// Phase is one segment of a scenario timeline: a request count (phases are
+// request-counted, not wall-clock timed, so replays are deterministic) and
+// the fault regime in force while those requests are sent.
+type Phase struct {
+	Name string `json:"name"`
+	// Requests is how many workload requests this phase sends, serially.
+	Requests int `json:"requests"`
+	// Faults is an internal/faults spec (e.g. "latency=0.3:1ms,drop=0.25")
+	// wrapped around the server for the phase; empty means fault-free. A
+	// seed= field is supplied by the harness (derived from the scenario
+	// seed and phase index) and must not appear here.
+	Faults string `json:"faults,omitempty"`
+	// PanicEvery, when positive, replaces every PanicEvery-th request with
+	// a PanicSeed request that deliberately panics a worker.
+	PanicEvery int `json:"panic_every,omitempty"`
+}
+
+// Scenario is a phased, seeded failure schedule.
+type Scenario struct {
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	Seed        uint64  `json:"seed"`
+	Tasks       int     `json:"tasks"`
+	Machines    int     `json:"machines"`
+	Distinct    int     `json:"distinct"`
+	Heuristic   string  `json:"heuristic"`
+	MaxRetries  int     `json:"max_retries"`
+	Threshold   int     `json:"breaker_threshold"`
+	Phases      []Phase `json:"phases"`
+}
+
+func (sc Scenario) validate() error {
+	if sc.Name == "" {
+		return errors.New("chaos: scenario needs a name")
+	}
+	if sc.Seed == PanicSeed {
+		return fmt.Errorf("chaos: scenario seed %#x collides with the panic sentinel", sc.Seed)
+	}
+	if sc.Tasks <= 0 || sc.Machines <= 0 || sc.Distinct <= 0 {
+		return errors.New("chaos: tasks, machines and distinct must be positive")
+	}
+	if len(sc.Phases) == 0 {
+		return errors.New("chaos: scenario needs at least one phase")
+	}
+	for i, ph := range sc.Phases {
+		if ph.Requests <= 0 {
+			return fmt.Errorf("chaos: phase %d (%s) needs a positive request count", i, ph.Name)
+		}
+		if strings.Contains(ph.Faults, "seed=") {
+			return fmt.Errorf("chaos: phase %d (%s) must not pin its own fault seed", i, ph.Name)
+		}
+	}
+	return nil
+}
+
+// PhaseReport is one phase's outcome tally. Every request resolves to
+// exactly one bucket, so OK+Mismatch+Transport+BreakerFastFail+sum(Errors)
+// equals Requests.
+type PhaseReport struct {
+	Name     string `json:"name"`
+	Requests int    `json:"requests"`
+	// OK counts 200s byte-identical to the fault-free golden.
+	OK int `json:"ok"`
+	// Mismatch counts 200s whose body differed from the golden — always an
+	// invariant violation.
+	Mismatch int `json:"mismatch"`
+	// Errors tallies error envelopes by "status:code", e.g. "503:injected_fault".
+	Errors map[string]int `json:"errors,omitempty"`
+	// Transport counts requests that exhausted retries on transport-level
+	// faults (dropped connections, truncated bodies).
+	Transport int `json:"transport"`
+	// BreakerFastFail counts requests refused locally by the open breaker.
+	BreakerFastFail int `json:"breaker_fastfail"`
+}
+
+// InvariantResult is one machine-checked invariant's verdict.
+type InvariantResult struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail"`
+}
+
+// Report is a scenario run's full verdict. It is deterministic in the
+// scenario: no timestamps, durations or addresses — same seed, same bytes.
+type Report struct {
+	Scenario    string        `json:"scenario"`
+	Description string        `json:"description"`
+	Seed        uint64        `json:"seed"`
+	Phases      []PhaseReport `json:"phases"`
+	// Recovered counts the post-storm fault-free replays that came back
+	// byte-identical to their goldens (want: one per distinct body).
+	Recovered int `json:"recovered"`
+	// BreakerTransitions is the breaker's observed edge sequence, e.g.
+	// "closed->open".
+	BreakerTransitions []string `json:"breaker_transitions,omitempty"`
+	// Panics is serve.panics_total after the run.
+	Panics     int64             `json:"panics"`
+	Invariants []InvariantResult `json:"invariants"`
+	Pass       bool              `json:"pass"`
+}
+
+// JSON renders the report as indented JSON with a trailing newline.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// documentedCodes is the closed set of error codes a response may carry:
+// the serve envelope codes plus the injector's own. Anything else fails the
+// "responses" invariant.
+var documentedCodes = map[string]bool{
+	serve.CodeBadRequest:       true,
+	serve.CodeMethodNotAllowed: true,
+	serve.CodePayloadTooLarge:  true,
+	serve.CodeValidationFailed: true,
+	serve.CodeOverloaded:       true,
+	serve.CodeInternal:         true,
+	serve.CodePanic:            true,
+	serve.CodeDraining:         true,
+	serve.CodeDeadlineExceeded: true,
+	"injected_fault":           true,
+}
+
+// legalBreakerEdges is the breaker's state machine: closed trips open, open
+// cools into a half-open probe, and the probe's outcome decides.
+var legalBreakerEdges = map[string]bool{
+	"closed->open":      true,
+	"open->half-open":   true,
+	"half-open->closed": true,
+	"half-open->open":   true,
+}
+
+// Run replays one scenario and returns its verdict report. The returned
+// error covers harness failures (bad scenario, no listener); invariant
+// violations are reported in Report.Invariants/Pass, not as errors.
+func Run(sc Scenario) (*Report, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	if sc.Heuristic == "" {
+		sc.Heuristic = "min-min"
+	}
+	if sc.Threshold == 0 {
+		sc.Threshold = 1 << 20 // effectively untrippable unless the scenario asks
+	}
+
+	baseline := runtime.NumGoroutine()
+	reg := obs.NewMetrics()
+	collector := &obs.Collector{}
+	srv := serve.NewServer(serve.Options{
+		Workers:    2,
+		QueueDepth: 256,
+		Metrics:    reg,
+		Observer:   collector,
+		PanicTrigger: func(seed uint64) {
+			if seed == PanicSeed {
+				panic("chaos: deliberate panic (sentinel seed)")
+			}
+		},
+	})
+
+	// The phase boundary is a handler swap: the serve stack stays up the
+	// whole run while each phase wraps it in that phase's fault injector.
+	var handler atomic.Pointer[http.Handler]
+	store := func(h http.Handler) { handler.Store(&h) }
+	store(srv.Handler())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	hs := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			(*handler.Load()).ServeHTTP(w, r)
+		}),
+		// Severed connections are the drop fault doing its job, not noise.
+		ErrorLog: log.New(io.Discard, "", 0),
+	}
+	go hs.Serve(ln)
+	target := "http://" + ln.Addr().String() + "/v1/iterate"
+
+	// Deterministic workload: Distinct bodies from the scenario seed, plus
+	// one panic body (the first matrix under the sentinel seed — a distinct
+	// cache key that always reaches a worker and always panics).
+	class := classByLabel("hihi-i")
+	src := rng.New(sc.Seed)
+	bodies := make([][]byte, sc.Distinct)
+	var panicBody []byte
+	for i := range bodies {
+		m, err := etc.GenerateClass(class, sc.Tasks, sc.Machines, src)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: generating workload: %w", err)
+		}
+		bodies[i], err = json.Marshal(serve.Request{ETC: m.Values(), Heuristic: sc.Heuristic, Ties: "det", Seed: sc.Seed})
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			panicBody, err = json.Marshal(serve.Request{ETC: m.Values(), Heuristic: sc.Heuristic, Ties: "det", Seed: PanicSeed})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Keep-alives must stay off for the whole run: net/http transparently
+	// replays a request whose reused connection dies before any response
+	// byte arrives, and that hidden extra arrival would shift the
+	// injector's seeded decision stream nondeterministically. With one
+	// fresh connection per request, every arrival at the injector is one
+	// the harness sent.
+	tr := &http.Transport{DisableKeepAlives: true}
+
+	// Fault-free goldens, computed through the same listener before any
+	// phase: the reference bytes every later 200 must match.
+	goldens := make([][]byte, sc.Distinct)
+	plain := &http.Client{Timeout: 30 * time.Second, Transport: tr}
+	for i, b := range bodies {
+		resp, err := plain.Post(target, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return nil, fmt.Errorf("chaos: golden request %d: %w", i, err)
+		}
+		golden, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: golden request %d: %w", i, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("chaos: golden request %d: status %d: %s", i, resp.StatusCode, golden)
+		}
+		goldens[i] = golden
+	}
+
+	// One resilient client for the whole run, so the breaker sees the full
+	// request stream. The 1ns cooldown keeps serial replays deterministic:
+	// by the next request the cooldown has always elapsed, so an open
+	// breaker always admits exactly one probe. Backoffs are capped at
+	// single-digit milliseconds — they shape pacing only.
+	cl := client.New(client.Options{
+		MaxRetries:       sc.MaxRetries,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       2 * time.Millisecond,
+		Timeout:          10 * time.Second,
+		Seed:             sc.Seed,
+		BreakerThreshold: sc.Threshold,
+		BreakerCooldown:  time.Nanosecond,
+		HTTPClient:       &http.Client{Transport: tr},
+		Metrics:          reg,
+		Observer:         collector,
+	})
+
+	rep := &Report{Scenario: sc.Name, Description: sc.Description, Seed: sc.Seed}
+	var violations []string
+	violate := func(format string, args ...any) {
+		if len(violations) < 16 {
+			violations = append(violations, fmt.Sprintf(format, args...))
+		}
+	}
+
+	panicsScheduled := 0
+	next := 0 // workload cursor: distinct bodies cycle across phases
+	for pi, ph := range sc.Phases {
+		pr := PhaseReport{Name: ph.Name, Requests: ph.Requests, Errors: map[string]int{}}
+		if ph.Faults != "" {
+			// Each phase's injector draws from its own derived seed so the
+			// fault decision stream is fixed per (scenario seed, phase).
+			spec, err := faults.Parse(fmt.Sprintf("seed=%d,%s", sc.Seed+uint64(pi)+1, ph.Faults))
+			if err != nil {
+				return nil, fmt.Errorf("chaos: phase %d (%s): %w", pi, ph.Name, err)
+			}
+			store(faults.New(spec, srv.Handler(), reg))
+		} else {
+			store(srv.Handler())
+		}
+		for i := 0; i < ph.Requests; i++ {
+			body, k := bodies[next%sc.Distinct], next%sc.Distinct
+			next++
+			isPanic := ph.PanicEvery > 0 && (i+1)%ph.PanicEvery == 0
+			if isPanic {
+				body, k = panicBody, -1
+				panicsScheduled++
+			}
+			resp, err := cl.Post(context.Background(), target, body)
+			var se *client.StatusError
+			switch {
+			case err == nil:
+				if isPanic {
+					pr.Mismatch++
+					violate("phase %s request %d: panic request returned 200", ph.Name, i)
+				} else if bytes.Equal(resp.Body, goldens[k]) {
+					pr.OK++
+				} else {
+					pr.Mismatch++
+					violate("phase %s request %d: 200 body differs from golden %d", ph.Name, i, k)
+				}
+			case errors.Is(err, client.ErrBreakerOpen):
+				pr.BreakerFastFail++
+			case errors.As(err, &se):
+				code := envelopeCode(se.Body)
+				pr.Errors[fmt.Sprintf("%d:%s", se.Status, code)]++
+				if !documentedCodes[code] {
+					violate("phase %s request %d: undocumented error code %q (status %d)", ph.Name, i, code, se.Status)
+				}
+			default:
+				pr.Transport++
+			}
+		}
+		rep.Phases = append(rep.Phases, pr)
+	}
+
+	// Recovery: faults off, every distinct body must come back 200 and
+	// byte-identical — the disrupted system has returned to correct state.
+	store(srv.Handler())
+	for i, b := range bodies {
+		resp, err := cl.Post(context.Background(), target, b)
+		if err != nil {
+			violate("recovery request %d: %v", i, errorClass(err))
+			continue
+		}
+		if !bytes.Equal(resp.Body, goldens[i]) {
+			violate("recovery request %d: body differs from golden", i)
+			continue
+		}
+		rep.Recovered++
+	}
+
+	// Quiesce: stop accepting, drain the worker pool, release idle conns.
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return nil, fmt.Errorf("chaos: shutdown: %w", err)
+	}
+	if err := srv.Drain(sctx); err != nil {
+		return nil, fmt.Errorf("chaos: drain: %w", err)
+	}
+	tr.CloseIdleConnections()
+	plain.CloseIdleConnections()
+
+	counters := map[string]int64{}
+	for _, c := range reg.Snapshot().Counters {
+		counters[c.Name] = c.Value
+	}
+	gauges := map[string]float64{}
+	for _, g := range reg.Snapshot().Gauges {
+		gauges[g.Name] = g.Value
+	}
+	rep.Panics = counters["serve.panics_total"]
+	for _, e := range collector.Events() {
+		if bt, ok := e.(obs.BreakerTransition); ok {
+			rep.BreakerTransitions = append(rep.BreakerTransitions, bt.From+"->"+bt.To)
+		}
+	}
+
+	check := func(name string, ok bool, detail string) {
+		rep.Invariants = append(rep.Invariants, InvariantResult{Name: name, OK: ok, Detail: detail})
+	}
+
+	check("responses", len(violations) == 0,
+		responsesDetail(violations))
+	total, sum := counters["serve.requests_total"],
+		counters["serve.responses_2xx"]+counters["serve.responses_4xx"]+counters["serve.responses_5xx"]
+	check("metrics_conservation", total == sum,
+		fmt.Sprintf("serve.requests_total=%d, 2xx+4xx+5xx=%d", total, sum))
+	check("quiesced", gauges["serve.queue_depth"] == 0 && gauges["serve.inflight"] == 0,
+		fmt.Sprintf("queue_depth=%g inflight=%g", gauges["serve.queue_depth"], gauges["serve.inflight"]))
+	check("recovery", rep.Recovered == sc.Distinct,
+		fmt.Sprintf("%d of %d fault-free replays byte-identical", rep.Recovered, sc.Distinct))
+	check("panics_accounted", (rep.Panics > 0) == (panicsScheduled > 0),
+		fmt.Sprintf("serve.panics_total=%d for %d scheduled panic requests", rep.Panics, panicsScheduled))
+	check("breaker_legal", breakerLegal(rep.BreakerTransitions),
+		fmt.Sprintf("%d transitions: %s", len(rep.BreakerTransitions), strings.Join(rep.BreakerTransitions, " ")))
+	leaked, goroutines := goroutineLeak(baseline)
+	// The passing detail carries no counts: the pre-run baseline depends on
+	// process state (idle pool goroutines from earlier runs), and absolute
+	// numbers would break the byte-identical-report promise. A failing
+	// detail may name the counts — a leak has already broken determinism.
+	goroutineDetail := "returned to baseline within slack"
+	if leaked {
+		goroutineDetail = fmt.Sprintf("leak: %d goroutines vs baseline %d", goroutines, baseline)
+	}
+	check("goroutines", !leaked, goroutineDetail)
+
+	rep.Pass = true
+	for _, inv := range rep.Invariants {
+		if !inv.OK {
+			rep.Pass = false
+		}
+	}
+	return rep, nil
+}
+
+// responsesDetail summarizes the violation list (already capped) for the
+// responses invariant.
+func responsesDetail(violations []string) string {
+	if len(violations) == 0 {
+		return "every response documented or byte-identical to golden"
+	}
+	return strings.Join(violations, "; ")
+}
+
+// errorClass renders an error for the report without nondeterministic
+// detail (ports, raw transport messages).
+func errorClass(err error) string {
+	var se *client.StatusError
+	switch {
+	case errors.Is(err, client.ErrBreakerOpen):
+		return "breaker fast-fail"
+	case errors.As(err, &se):
+		return fmt.Sprintf("status %d (%s)", se.Status, envelopeCode(se.Body))
+	default:
+		return "transport failure"
+	}
+}
+
+// envelopeCode extracts the error code from an envelope body; unparseable
+// bodies classify as "(unparseable)" and fail the documented-code check.
+func envelopeCode(body []byte) string {
+	var er serve.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error.Code == "" {
+		return "(unparseable)"
+	}
+	return er.Error.Code
+}
+
+// breakerLegal verifies the observed transition sequence walks the legal
+// state machine from closed and, if the breaker tripped at all, ends closed
+// (the recovery phase must have healed it).
+func breakerLegal(transitions []string) bool {
+	state := "closed"
+	for _, tr := range transitions {
+		if !legalBreakerEdges[tr] {
+			return false
+		}
+		from, to, _ := strings.Cut(tr, "->")
+		if from != state {
+			return false
+		}
+		state = to
+	}
+	return state == "closed"
+}
+
+// goroutineLeak polls until the goroutine count returns to the baseline
+// (plus slack for runtime internals) or the deadline passes. Wall-clock
+// bounded, but the verdict it feeds into the report is boolean — timing
+// never shapes report bytes beyond pass/fail of a genuine leak.
+func goroutineLeak(baseline int) (leaked bool, count int) {
+	const slack = 3
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		count = runtime.NumGoroutine()
+		if count <= baseline+slack {
+			return false, count
+		}
+		if time.Now().After(deadline) {
+			return true, count
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// classByLabel resolves a workload class; the harness pins hihi-i (the
+// paper's hardest heterogeneity regime).
+func classByLabel(label string) etc.Class {
+	for _, c := range etc.AllClasses() {
+		if c.Label() == label {
+			return c
+		}
+	}
+	return etc.Class{}
+}
+
+// Builtin returns the harness's stock scenarios, each a phased failure
+// schedule with a pinned seed. Names are stable: scripts and selfchecks
+// refer to them.
+func Builtin() []Scenario {
+	return []Scenario{
+		{
+			Name:        "storm",
+			Description: "healthy baseline, latency+drop storm, reject burst, recovery",
+			Seed:        7, Tasks: 12, Machines: 4, Distinct: 4,
+			Heuristic: "min-min", MaxRetries: 8,
+			Phases: []Phase{
+				{Name: "healthy", Requests: 12},
+				{Name: "latency-drop", Requests: 12, Faults: "latency=0.3:1ms,drop=0.25"},
+				{Name: "reject-burst", Requests: 12, Faults: "reject=0.5:503:1"},
+				{Name: "calm", Requests: 12},
+			},
+		},
+		{
+			Name:        "truncate-flood",
+			Description: "truncated bodies flood the client; retries must recover exact bytes",
+			Seed:        11, Tasks: 10, Machines: 5, Distinct: 3,
+			Heuristic: "sufferage", MaxRetries: 8,
+			Phases: []Phase{
+				{Name: "healthy", Requests: 6},
+				{Name: "flood", Requests: 18, Faults: "truncate=0.6"},
+				{Name: "calm", Requests: 6},
+			},
+		},
+		{
+			Name:        "breaker-trip",
+			Description: "total blackout trips the breaker; recovery closes it legally",
+			Seed:        13, Tasks: 8, Machines: 4, Distinct: 2,
+			Heuristic: "max-min", MaxRetries: 1, Threshold: 3,
+			Phases: []Phase{
+				{Name: "healthy", Requests: 6},
+				{Name: "blackout", Requests: 10, Faults: "reject=1.0:503"},
+				{Name: "calm", Requests: 6},
+			},
+		},
+		{
+			Name:        "panic-isolation",
+			Description: "deliberate worker panics interleaved with healthy traffic",
+			Seed:        17, Tasks: 9, Machines: 3, Distinct: 3,
+			Heuristic: "min-min", MaxRetries: 1,
+			Phases: []Phase{
+				{Name: "healthy", Requests: 6},
+				{Name: "panic-storm", Requests: 12, PanicEvery: 3},
+				{Name: "calm", Requests: 6},
+			},
+		},
+	}
+}
+
+// ByName returns the builtin scenario with that name.
+func ByName(name string) (Scenario, error) {
+	var names []string
+	for _, sc := range Builtin() {
+		if sc.Name == name {
+			return sc, nil
+		}
+		names = append(names, sc.Name)
+	}
+	sort.Strings(names)
+	return Scenario{}, fmt.Errorf("chaos: unknown scenario %q (available: %s)", name, strings.Join(names, ", "))
+}

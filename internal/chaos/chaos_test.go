@@ -1,0 +1,149 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBuiltinScenariosPass replays every stock scenario and requires a
+// clean verdict: all invariants ok, report marked Pass.
+func TestBuiltinScenariosPass(t *testing.T) {
+	for _, sc := range Builtin() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := Run(sc)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for _, inv := range rep.Invariants {
+				if !inv.OK {
+					t.Errorf("invariant %s violated: %s", inv.Name, inv.Detail)
+				}
+			}
+			if !rep.Pass {
+				t.Fatal("report not marked Pass")
+			}
+		})
+	}
+}
+
+// TestReportDeterministic pins the harness's core promise: the same
+// scenario and seed produce a byte-identical verdict report.
+func TestReportDeterministic(t *testing.T) {
+	sc, err := ByName("storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs [][]byte
+	for i := 0; i < 2; i++ {
+		rep, err := Run(sc)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, b)
+	}
+	if !bytes.Equal(runs[0], runs[1]) {
+		t.Fatalf("reports differ across identical runs:\n%s\nvs\n%s", runs[0], runs[1])
+	}
+}
+
+// TestFaultProbabilityChangesReport pins sensitivity: flipping an injected
+// fault probability changes the report (deterministically — covered by the
+// determinism test above).
+func TestFaultProbabilityChangesReport(t *testing.T) {
+	sc, err := ByName("storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Phases[2].Faults = "reject=0.9:503:1"
+	bumped, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := base.JSON()
+	b, _ := bumped.JSON()
+	if bytes.Equal(a, b) {
+		t.Fatal("report unchanged after flipping reject probability 0.5 -> 0.9")
+	}
+	if !bumped.Pass {
+		t.Fatal("bumped scenario should still pass (more rejections, same invariants)")
+	}
+}
+
+// TestBreakerTripScenarioObservesTransitions pins that the breaker-trip
+// scenario actually exercises the breaker (a scenario that never trips it
+// would vacuously pass breaker_legal).
+func TestBreakerTripScenarioObservesTransitions(t *testing.T) {
+	sc, err := ByName("breaker-trip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.BreakerTransitions) == 0 {
+		t.Fatal("breaker-trip scenario produced no breaker transitions")
+	}
+	if rep.BreakerTransitions[0] != "closed->open" {
+		t.Fatalf("first transition %q, want closed->open", rep.BreakerTransitions[0])
+	}
+	if last := rep.BreakerTransitions[len(rep.BreakerTransitions)-1]; last != "half-open->closed" {
+		t.Fatalf("last transition %q, want half-open->closed", last)
+	}
+}
+
+// TestPanicScenarioAccountsPanics pins that panic-isolation schedules real
+// panics and the serve layer both counts and survives them.
+func TestPanicScenarioAccountsPanics(t *testing.T) {
+	sc, err := ByName("panic-isolation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Panics == 0 {
+		t.Fatal("panic-isolation scenario recorded no panics")
+	}
+	found := false
+	for _, ph := range rep.Phases {
+		if ph.Errors["500:panic"] > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no 500:panic envelopes observed: %+v", rep.Phases)
+	}
+	if !rep.Pass {
+		t.Fatal("panic-isolation should pass")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := ByName("nope"); err == nil || !strings.Contains(err.Error(), "available") {
+		t.Fatalf("ByName(nope) error %v, want available-list error", err)
+	}
+	bad := []Scenario{
+		{},
+		{Name: "x", Seed: PanicSeed, Tasks: 1, Machines: 1, Distinct: 1, Phases: []Phase{{Name: "p", Requests: 1}}},
+		{Name: "x", Tasks: 1, Machines: 1, Distinct: 1},
+		{Name: "x", Tasks: 1, Machines: 1, Distinct: 1, Phases: []Phase{{Name: "p"}}},
+		{Name: "x", Tasks: 1, Machines: 1, Distinct: 1, Phases: []Phase{{Name: "p", Requests: 1, Faults: "seed=3,drop=0.1"}}},
+	}
+	for i, sc := range bad {
+		if _, err := Run(sc); err == nil {
+			t.Fatalf("bad scenario %d accepted", i)
+		}
+	}
+}

@@ -348,3 +348,86 @@ func TestContextCancelStopsRetries(t *testing.T) {
 		t.Fatal("want error with cancelled context")
 	}
 }
+
+// TestBreakerHalfOpenSingleProbe races seven concurrent requests against an
+// in-flight half-open probe and requires exactly one probe to be admitted:
+// the losers fail fast with ErrBreakerOpen and never reach the server. Run
+// under -race this also proves the breaker's state handoff is data-race
+// free.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	probeArrived := make(chan struct{})
+	release := make(chan struct{})
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch hits.Add(1) {
+		case 1:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 2:
+			close(probeArrived)
+			<-release
+			w.Write([]byte("ok"))
+		default:
+			w.Write([]byte("ok"))
+		}
+	}))
+	defer ts.Close()
+	reg := obs.NewMetrics()
+	c, ft := newTestClient(Options{
+		MaxRetries: -1, BreakerThreshold: 1, BreakerCooldown: time.Second,
+		Seed: 1, Metrics: reg,
+	})
+
+	// One failure opens the breaker (threshold 1); the cooldown elapses.
+	if _, err := c.Post(context.Background(), ts.URL, nil); err == nil {
+		t.Fatal("want a failure to open the breaker")
+	}
+	if got := counterValue(t, reg, "client.breaker_open_total"); got != 1 {
+		t.Fatalf("client.breaker_open_total = %d, want 1", got)
+	}
+	ft.advance(2 * time.Second)
+
+	// The probe is admitted and parks inside the handler.
+	probeDone := make(chan error, 1)
+	go func() {
+		_, err := c.Post(context.Background(), ts.URL, nil)
+		probeDone <- err
+	}()
+	<-probeArrived
+
+	// Concurrent requests while the probe is in flight: all must fail fast.
+	const losers = 7
+	errs := make([]error, losers)
+	var wg sync.WaitGroup
+	for i := 0; i < losers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Post(context.Background(), ts.URL, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("loser %d: err %v, want ErrBreakerOpen", i, err)
+		}
+	}
+	if got := counterValue(t, reg, "client.fastfail_total"); got != losers {
+		t.Fatalf("client.fastfail_total = %d, want %d", got, losers)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (opener + probe); a loser slipped past the breaker", got)
+	}
+
+	// Releasing the probe closes the breaker and traffic flows again.
+	close(release)
+	if err := <-probeDone; err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if got := counterValue(t, reg, "client.breaker_closed_total"); got != 1 {
+		t.Fatalf("client.breaker_closed_total = %d, want 1", got)
+	}
+	resp, err := c.Post(context.Background(), ts.URL, nil)
+	if err != nil || string(resp.Body) != "ok" {
+		t.Fatalf("post-recovery request: %v %q", err, resp)
+	}
+}

@@ -269,7 +269,10 @@ func (f *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(f.spec.RejectStatus)
-		fmt.Fprintf(w, "{\"error\":\"injected fault: status %d\"}\n", f.spec.RejectStatus)
+		// The serve error envelope with the one code the injector owns, so
+		// chaos-harness clients can tell an injected rejection from a real
+		// service error without parsing free-form text.
+		fmt.Fprintf(w, "{\"error\":{\"code\":\"injected_fault\",\"message\":\"injected fault: status %d\"}}\n", f.spec.RejectStatus)
 		return
 	case d.drop:
 		f.mInjected.Inc()

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/rng"
 )
 
 // echoHandler writes a fixed, recognizable body.
@@ -231,5 +232,62 @@ func TestInjectedRatesRoughlyMatch(t *testing.T) {
 	}
 	if rejected != 47 {
 		t.Fatalf("seed=11 p=0.5 over %d draws rejected %d; the seeded stream changed (was 47)", n, rejected)
+	}
+}
+
+// TestTruncateThenRetryByteIdentity pins the injector's core safety rule end
+// to end: a truncation fault followed by a client retry of the identical
+// request yields exactly the bytes the inner handler produces — a truncated
+// first attempt can cost a retry, never different content. The seed is
+// probed so the deterministic stream truncates the first request and spares
+// the second.
+func TestTruncateThenRetryByteIdentity(t *testing.T) {
+	const p = 0.5
+	seed := uint64(0)
+	for {
+		src := rng.New(seed)
+		if src.Float64() < p && src.Float64() >= p {
+			break
+		}
+		seed++
+		if seed > 1000 {
+			t.Fatal("no seed found with truncate-then-pass draws")
+		}
+	}
+
+	reg := obs.NewMetrics()
+	inj := New(Spec{Seed: seed, TruncateP: p}, echoHandler(), reg)
+	ts := httptest.NewServer(inj)
+	defer ts.Close()
+
+	// First attempt: truncated — a strict prefix of the true body, then EOF.
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("first attempt: %v", err)
+	}
+	got, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr == nil {
+		t.Fatalf("first attempt: want truncation error, got full body %q", got)
+	}
+	if !bytes.HasPrefix(echoBody, got) {
+		t.Fatalf("truncated bytes %q are not a prefix of the true body %q", got, echoBody)
+	}
+
+	// Retry of the identical request: the full, byte-identical body.
+	resp, err = http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	retried, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		t.Fatalf("retry read: %v", rerr)
+	}
+	if !bytes.Equal(retried, echoBody) {
+		t.Fatalf("retried body %q differs from the inner handler's %q", retried, echoBody)
+	}
+	if n := counterValue(t, reg, "faults.truncate_total"); n != 1 {
+		t.Fatalf("faults.truncate_total = %d, want 1", n)
 	}
 }

@@ -119,6 +119,24 @@ type RequestDone struct {
 // Kind implements Event.
 func (RequestDone) Kind() string { return "request_done" }
 
+// PanicRecovered is emitted by the serving layer when per-request panic
+// isolation catches a panic on the request path: the worker (or handler)
+// survives, the client receives a structured 500 envelope, and this event
+// carries the panic value and stack for diagnosis. The client-facing
+// response never includes either — 500 bodies stay byte-identical across
+// runs — so all nondeterministic detail lives on this observational path.
+type PanicRecovered struct {
+	// Endpoint is the scheduling endpoint the panicking request targeted.
+	Endpoint string `json:"endpoint"`
+	// Value is the panic value, rendered with fmt.Sprint.
+	Value string `json:"value"`
+	// Stack is the recovering goroutine's stack trace.
+	Stack string `json:"stack,omitempty"`
+}
+
+// Kind implements Event.
+func (PanicRecovered) Kind() string { return "panic_recovered" }
+
 // ClientRetry is emitted by the resilient schedd client (internal/client)
 // each time an attempt fails and a retry is scheduled. The delay is
 // wall-clock and observational only: it affects when the next attempt is

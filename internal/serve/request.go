@@ -89,17 +89,53 @@ type IterateResponse struct {
 	Outcomes []string `json:"outcomes"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response: a uniform envelope
+// {"error":{"code":...,"message":...}} so clients and the chaos harness can
+// classify failures without parsing free-form text.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error ErrorDetail `json:"error"`
 }
 
-// apiError pairs an HTTP status with a client-facing message, plus the
-// response headers some statuses require (Allow on 405, Retry-After on
-// retryable rejections).
+// ErrorDetail is the envelope payload. Code is one of the Code* constants —
+// a stable machine-readable discriminator — and Message is human-facing.
+// Validation failures (422) additionally carry field-level messages.
+type ErrorDetail struct {
+	Code    string       `json:"code"`
+	Message string       `json:"message"`
+	Fields  []FieldError `json:"fields,omitempty"`
+}
+
+// FieldError locates one validation failure inside the request body, e.g.
+// {"path":"etc[2][0]","message":"-1 is not a positive finite value"}.
+type FieldError struct {
+	Path    string `json:"path"`
+	Message string `json:"message"`
+}
+
+// The documented error codes, one per non-2xx path. Every error the service
+// emits uses exactly one of these; the chaos harness treats any other code
+// as an invariant violation.
+const (
+	CodeBadRequest       = "bad_request"        // 400: malformed JSON, unknown fields, unreadable body
+	CodeMethodNotAllowed = "method_not_allowed" // 405: non-POST on scheduling, non-GET on introspection
+	CodePayloadTooLarge  = "payload_too_large"  // 413: body over MaxBodyBytes, or admission guard refusal
+	CodeValidationFailed = "validation_failed"  // 422: well-formed JSON, semantically invalid fields
+	CodeOverloaded       = "overloaded"         // 429: bounded queue full, request shed
+	CodeInternal         = "internal"           // 500: unexpected engine error
+	CodePanic            = "panic"              // 500: request-path panic, recovered
+	CodeDraining         = "draining"           // 503: server draining, request refused
+	CodeDeadlineExceeded = "deadline_exceeded"  // 504: request deadline expired
+)
+
+// apiError pairs an HTTP status with a stable error code and client-facing
+// message, plus the response headers some statuses require (Allow on 405,
+// Retry-After on retryable rejections).
 type apiError struct {
 	status int
+	code   string
 	msg    string
+	// fields carries field-level detail for validation failures.
+	fields []FieldError
 	// allow, when non-empty, becomes the Allow header (required on 405).
 	allow string
 	// retryAfterSec, when positive, becomes the Retry-After header, telling
@@ -110,7 +146,11 @@ type apiError struct {
 func (e *apiError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) *apiError {
-	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+	return &apiError{status: http.StatusBadRequest, code: CodeBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func internalError(format string, args ...any) *apiError {
+	return &apiError{status: http.StatusInternalServerError, code: CodeInternal, msg: fmt.Sprintf(format, args...)}
 }
 
 // endpoint distinguishes the two scheduling endpoints; it is part of the
@@ -131,9 +171,96 @@ type parsedRequest struct {
 	key      string
 }
 
+// limits are the admission guards a Server threads into parsing: hard caps
+// refused up front (413) before any per-cell work or allocation is sunk into
+// a request nobody should have sent. A zero field disables that guard.
+type limits struct {
+	maxCells    int   // cap on total ETC entries (tasks × machines)
+	maxEstBytes int64 // cap on the response + working-memory estimate
+}
+
+// estimateBytes is the per-request memory estimate the admission guard
+// checks: the instance copy (~24 B per cell including slice headers) plus
+// the response. /v1/iterate responses repeat per-iteration assign/completion
+// arrays up to machines times (~48 B per retained entry); /v1/map carries
+// one assignment and one completion row.
+func estimateBytes(ep endpoint, cells, tasks, machines int64) int64 {
+	est := 24 * cells
+	if ep == endpointIterate {
+		est += 48 * machines * (tasks + machines)
+	} else {
+		est += 24 * (tasks + machines)
+	}
+	return est
+}
+
+// maxFieldErrors caps the field-level detail on a 422: enough to fix a
+// hand-written request, bounded so a hostile body cannot make the error
+// response arbitrarily large. The message always carries the full count.
+const maxFieldErrors = 16
+
+// validateRequest walks every field of a decoded request and collects
+// field-level errors (capped at maxFieldErrors; total is the uncapped
+// count). It mirrors — and must stay in sync with — the constructors it
+// fronts: etc.New, sched.NewInstance and heuristics.ByName, so that by the
+// time those run, their error (and panic) paths are unreachable.
+func validateRequest(rq Request) (ties string, fields []FieldError, total int) {
+	add := func(path, format string, args ...any) {
+		total++
+		if len(fields) < maxFieldErrors {
+			fields = append(fields, FieldError{Path: path, Message: fmt.Sprintf(format, args...)})
+		}
+	}
+	cols := 0
+	switch {
+	case len(rq.ETC) == 0:
+		add("etc", "matrix has no tasks")
+	case len(rq.ETC[0]) == 0:
+		add("etc[0]", "matrix has no machines")
+	default:
+		cols = len(rq.ETC[0])
+		for t, row := range rq.ETC {
+			if len(row) != cols {
+				add(fmt.Sprintf("etc[%d]", t), "row has %d entries, want %d", len(row), cols)
+				continue
+			}
+			for m, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+					add(fmt.Sprintf("etc[%d][%d]", t, m), "%g is not a positive finite value", v)
+				}
+			}
+		}
+	}
+	if rq.Ready != nil && cols > 0 && len(rq.Ready) != cols {
+		add("ready", "%d ready times for %d machines", len(rq.Ready), cols)
+	}
+	for i, v := range rq.Ready {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			add(fmt.Sprintf("ready[%d]", i), "%g is not a finite non-negative value", v)
+		}
+	}
+	if _, err := heuristics.ByName(rq.Heuristic, rq.Seed); err != nil {
+		add("heuristic", "%v", err)
+	}
+	ties = rq.Ties
+	if ties == "" {
+		ties = "det"
+	}
+	if ties != "det" && ties != "random" {
+		add("ties", "unknown policy %q (want det or random)", ties)
+	}
+	if rq.TimeoutMS < 0 {
+		add("timeout_ms", "%d is negative", rq.TimeoutMS)
+	}
+	return ties, fields, total
+}
+
 // parseRequest decodes and validates a request body. Unknown fields are
 // rejected so a typo'd parameter can never silently change the cache key.
-func parseRequest(ep endpoint, body []byte) (*parsedRequest, *apiError) {
+// Failures are tiered: malformed JSON is 400, admission-guard refusals are
+// 413, and semantically invalid fields are one 422 carrying every
+// field-level message (up to maxFieldErrors).
+func parseRequest(ep endpoint, body []byte, lim limits) (*parsedRequest, *apiError) {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	var rq Request
@@ -143,26 +270,48 @@ func parseRequest(ep endpoint, body []byte) (*parsedRequest, *apiError) {
 	if dec.More() {
 		return nil, badRequest("request body has trailing data")
 	}
+	// Admission guards run before the per-cell walk: counting rows is cheap,
+	// and an over-cap request must cost the server as little as possible.
+	var cells int64
+	for _, row := range rq.ETC {
+		cells += int64(len(row))
+	}
+	if lim.maxCells > 0 && cells > int64(lim.maxCells) {
+		return nil, &apiError{
+			status: http.StatusRequestEntityTooLarge,
+			code:   CodePayloadTooLarge,
+			msg:    fmt.Sprintf("matrix has %d cells, admission cap is %d", cells, lim.maxCells),
+		}
+	}
+	tasks, machines := int64(len(rq.ETC)), int64(0)
+	if len(rq.ETC) > 0 {
+		machines = int64(len(rq.ETC[0]))
+	}
+	if est := estimateBytes(ep, cells, tasks, machines); lim.maxEstBytes > 0 && est > lim.maxEstBytes {
+		return nil, &apiError{
+			status: http.StatusRequestEntityTooLarge,
+			code:   CodePayloadTooLarge,
+			msg:    fmt.Sprintf("estimated memory %d bytes for this request exceeds the admission cap of %d", est, lim.maxEstBytes),
+		}
+	}
+	ties, fields, total := validateRequest(rq)
+	if total > 0 {
+		return nil, &apiError{
+			status: http.StatusUnprocessableEntity,
+			code:   CodeValidationFailed,
+			msg:    fmt.Sprintf("request has %d invalid field(s)", total),
+			fields: fields,
+		}
+	}
+	// validateRequest proved these constructors cannot fail; a residual error
+	// here is a server bug, not a client one.
 	m, err := etc.New(rq.ETC)
 	if err != nil {
-		return nil, badRequest("%v", err)
+		return nil, internalError("constructing matrix after validation: %v", err)
 	}
 	in, err := sched.NewInstance(m, rq.Ready)
 	if err != nil {
-		return nil, badRequest("%v", err)
-	}
-	if _, err := heuristics.ByName(rq.Heuristic, rq.Seed); err != nil {
-		return nil, badRequest("%v", err)
-	}
-	ties := rq.Ties
-	if ties == "" {
-		ties = "det"
-	}
-	if ties != "det" && ties != "random" {
-		return nil, badRequest("unknown ties %q (want det or random)", ties)
-	}
-	if rq.TimeoutMS < 0 {
-		return nil, badRequest("timeout_ms %d < 0", rq.TimeoutMS)
+		return nil, internalError("constructing instance after validation: %v", err)
 	}
 	p := &parsedRequest{endpoint: ep, req: rq, in: in, ties: ties}
 	p.key = cacheKey(ep, rq, ties, in)
@@ -233,11 +382,11 @@ func (p *parsedRequest) compute() ([]byte, *apiError) {
 	case endpointMap:
 		mp, err := h.Map(p.in, p.policy()(0))
 		if err != nil {
-			return nil, &apiError{status: http.StatusInternalServerError, msg: err.Error()}
+			return nil, internalError("%v", err)
 		}
 		s, err := sched.Evaluate(p.in, mp)
 		if err != nil {
-			return nil, &apiError{status: http.StatusInternalServerError, msg: err.Error()}
+			return nil, internalError("%v", err)
 		}
 		return marshalResponse(MapResponse{
 			Heuristic:  p.req.Heuristic,
@@ -252,7 +401,7 @@ func (p *parsedRequest) compute() ([]byte, *apiError) {
 	case endpointIterate:
 		tr, err := core.Iterate(p.in, h, p.policy())
 		if err != nil {
-			return nil, &apiError{status: http.StatusInternalServerError, msg: err.Error()}
+			return nil, internalError("%v", err)
 		}
 		resp := IterateResponse{
 			Heuristic:         p.req.Heuristic,
@@ -287,7 +436,7 @@ func (p *parsedRequest) compute() ([]byte, *apiError) {
 		}
 		return marshalResponse(resp)
 	default:
-		return nil, &apiError{status: http.StatusInternalServerError, msg: fmt.Sprintf("unknown endpoint %q", p.endpoint)}
+		return nil, internalError("unknown endpoint %q", p.endpoint)
 	}
 }
 
@@ -297,7 +446,7 @@ func (p *parsedRequest) compute() ([]byte, *apiError) {
 func marshalResponse(v any) ([]byte, *apiError) {
 	body, err := json.Marshal(v)
 	if err != nil {
-		return nil, &apiError{status: http.StatusInternalServerError, msg: err.Error()}
+		return nil, internalError("%v", err)
 	}
 	return append(body, '\n'), nil
 }

@@ -21,6 +21,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,13 @@ const (
 	DefaultCacheEntries   = 256
 	DefaultMaxBodyBytes   = 1 << 20
 	DefaultRequestTimeout = 5 * time.Second
+	// DefaultMaxCells caps tasks×machines per request (admission guard):
+	// 512×512 — far above every workload in the paper, far below what would
+	// let one request monopolize a worker.
+	DefaultMaxCells = 1 << 18
+	// DefaultMaxEstimatedBytes caps the per-request memory estimate
+	// (instance copy plus response, see estimateBytes).
+	DefaultMaxEstimatedBytes = 64 << 20
 )
 
 // Options configures a Server. The zero value is a working configuration.
@@ -53,6 +61,20 @@ type Options struct {
 	// RequestTimeout caps each request's deadline; a request's timeout_ms
 	// may lower it but never raise it. 0 means DefaultRequestTimeout.
 	RequestTimeout time.Duration
+	// MaxCells is the admission guard on tasks×machines per request;
+	// requests over it are refused with 413 before any per-cell work.
+	// 0 means DefaultMaxCells; negative disables the guard.
+	MaxCells int
+	// MaxEstimatedBytes is the admission guard on the per-request memory
+	// estimate (instance copy plus response size). 0 means
+	// DefaultMaxEstimatedBytes; negative disables the guard.
+	MaxEstimatedBytes int64
+	// PanicTrigger, when non-nil, runs in the worker just before each
+	// compute with the request's seed. It exists so selfchecks, chaos
+	// scenarios and tests can exercise the panic-isolation path with a
+	// deliberate panic on a sentinel seed; it must never be set in
+	// production.
+	PanicTrigger func(seed uint64)
 	// Metrics receives serve.* counters, gauges and latency histograms.
 	// When nil the server creates its own registry (exposed at /metricz
 	// and by Metrics()).
@@ -70,6 +92,7 @@ type Server struct {
 	reg   *obs.Metrics
 	cache *lru
 	queue chan *job
+	lim   limits
 
 	workers sync.WaitGroup
 
@@ -93,9 +116,15 @@ type Server struct {
 	mShed      *obs.Counter
 	mTimeouts  *obs.Counter
 	mErrors    *obs.Counter
-	gQueue     *obs.Gauge
-	gInflight  *obs.Gauge
-	hLatency   *obs.Histogram
+	mPanics    *obs.Counter
+	// Per-outcome response counters. Every scheduling arrival resolves to
+	// exactly one of these, so requests_total == 2xx+4xx+5xx always — the
+	// conservation invariant the chaos harness checks after every run.
+	m2xx, m4xx, m5xx *obs.Counter
+
+	gQueue    *obs.Gauge
+	gInflight *obs.Gauge
+	hLatency  *obs.Histogram
 
 	// testHookDequeued, when non-nil, runs in the worker goroutine after a
 	// job is dequeued and before it is computed. Tests use it to hold jobs
@@ -144,11 +173,25 @@ func NewServer(opts Options) *Server {
 	if reg == nil {
 		reg = obs.NewMetrics()
 	}
+	var lim limits
+	switch {
+	case opts.MaxCells == 0:
+		lim.maxCells = DefaultMaxCells
+	case opts.MaxCells > 0:
+		lim.maxCells = opts.MaxCells
+	}
+	switch {
+	case opts.MaxEstimatedBytes == 0:
+		lim.maxEstBytes = DefaultMaxEstimatedBytes
+	case opts.MaxEstimatedBytes > 0:
+		lim.maxEstBytes = opts.MaxEstimatedBytes
+	}
 	s := &Server{
 		opts:    opts,
 		reg:     reg,
 		queue:   make(chan *job, opts.QueueDepth),
 		flights: make(map[string]*flight),
+		lim:     lim,
 
 		mRequests:  reg.Counter("serve.requests_total"),
 		mHits:      reg.Counter("serve.cache_hits"),
@@ -157,6 +200,10 @@ func NewServer(opts Options) *Server {
 		mShed:      reg.Counter("serve.shed_total"),
 		mTimeouts:  reg.Counter("serve.timeouts_total"),
 		mErrors:    reg.Counter("serve.errors_total"),
+		mPanics:    reg.Counter("serve.panics_total"),
+		m2xx:       reg.Counter("serve.responses_2xx"),
+		m4xx:       reg.Counter("serve.responses_4xx"),
+		m5xx:       reg.Counter("serve.responses_5xx"),
 		gQueue:     reg.Gauge("serve.queue_depth"),
 		gInflight:  reg.Gauge("serve.inflight"),
 		// Latency is wall-clock and observational only.
@@ -250,15 +297,55 @@ func (s *Server) worker() {
 			s.testHookDequeued(j)
 		}
 		if j.ctx.Err() != nil {
-			j.done <- jobResult{err: &apiError{status: http.StatusGatewayTimeout, msg: "deadline exceeded"}}
+			j.done <- jobResult{err: timeoutError()}
 			continue
 		}
-		body, err := j.p.compute()
+		body, err := s.computeJob(j)
 		if err == nil && s.cache != nil {
 			s.cache.add(j.p.key, body)
 		}
 		j.done <- jobResult{body: body, err: err}
 	}
+}
+
+// computeJob runs one job's compute under per-request panic isolation: a
+// panic anywhere below the heuristics or the engine is recovered here, so
+// the worker goroutine survives and the waiting handler receives a
+// structured 500. The recovered result is never cached — only successful,
+// deterministic bodies enter the cache.
+func (s *Server) computeJob(j *job) (body []byte, aerr *apiError) {
+	defer func() {
+		if v := recover(); v != nil {
+			body, aerr = nil, s.recoverPanic(j.p.endpoint, v)
+		}
+	}()
+	if s.opts.PanicTrigger != nil {
+		s.opts.PanicTrigger(j.p.req.Seed)
+	}
+	return j.p.compute()
+}
+
+// recoverPanic converts a recovered request-path panic into the service's
+// structured 500. The client-facing message is fixed — panic values and
+// stacks are nondeterministic, and response bodies must stay byte-identical
+// across runs — so the diagnostic detail goes to the observational path
+// only: the serve.panics_total counter and a panic_recovered event.
+func (s *Server) recoverPanic(ep endpoint, v any) *apiError {
+	s.mPanics.Inc()
+	if s.opts.Observer != nil {
+		s.opts.Observer.Observe(obs.PanicRecovered{
+			Endpoint: string(ep),
+			Value:    fmt.Sprint(v),
+			Stack:    string(debug.Stack()),
+		})
+	}
+	return &apiError{status: http.StatusInternalServerError, code: CodePanic, msg: "internal panic (recovered)"}
+}
+
+// timeoutError is the canonical 504: one constructor so every deadline path
+// produces the identical envelope.
+func timeoutError() *apiError {
+	return &apiError{status: http.StatusGatewayTimeout, code: CodeDeadlineExceeded, msg: "deadline exceeded"}
 }
 
 // joinFlight registers interest in the computation for key. The first
@@ -292,16 +379,31 @@ func (s *Server) resolveFlight(key string, f *flight, body []byte, err *apiError
 func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now() // observational only: latency metrics and events
+		// Handler-level panic isolation: the worker path has its own recover
+		// (computeJob), so anything caught here is a bug in parsing or
+		// response writing. The connection-killing sentinel is re-raised for
+		// net/http; everything else becomes a best-effort structured 500 so
+		// the access log and conservation counters still see the request.
+		defer func() {
+			if v := recover(); v != nil {
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				aerr := s.recoverPanic(ep, v)
+				s.writeError(w, aerr)
+				s.observe(ep, aerr.status, "", nil, start)
+			}
+		}()
 		// Every arrival counts, whatever its outcome: rejected methods,
 		// draining refusals and shed requests all show up in requests_total.
 		s.mRequests.Inc()
 		if r.Method != http.MethodPost {
-			s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, msg: "use POST", allow: http.MethodPost})
+			s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: CodeMethodNotAllowed, msg: "use POST", allow: http.MethodPost})
 			s.observe(ep, http.StatusMethodNotAllowed, "", nil, start)
 			return
 		}
 		if !s.beginRequest() {
-			s.writeError(w, &apiError{status: http.StatusServiceUnavailable, msg: "draining"})
+			s.writeError(w, &apiError{status: http.StatusServiceUnavailable, code: CodeDraining, msg: "draining"})
 			s.observe(ep, http.StatusServiceUnavailable, "", nil, start)
 			return
 		}
@@ -313,6 +415,7 @@ func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 			if errors.As(err, &mbe) {
 				aerr = &apiError{
 					status: http.StatusRequestEntityTooLarge,
+					code:   CodePayloadTooLarge,
 					msg:    fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
 				}
 			}
@@ -320,7 +423,7 @@ func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 			s.observe(ep, aerr.status, "", nil, start)
 			return
 		}
-		p, aerr := parseRequest(ep, body)
+		p, aerr := parseRequest(ep, body, s.lim)
 		if aerr != nil {
 			s.writeError(w, aerr)
 			s.observe(ep, aerr.status, "", nil, start)
@@ -360,7 +463,7 @@ func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 				s.observe(ep, http.StatusOK, "coalesced", p, start)
 			case <-ctx.Done():
 				s.mTimeouts.Inc()
-				s.writeError(w, &apiError{status: http.StatusGatewayTimeout, msg: "deadline exceeded"})
+				s.writeError(w, timeoutError())
 				s.observe(ep, http.StatusGatewayTimeout, "", p, start)
 			}
 			return
@@ -373,7 +476,7 @@ func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 		default:
 			s.gQueue.Set(float64(s.queued.Add(-1)))
 			s.mShed.Inc()
-			aerr := &apiError{status: http.StatusTooManyRequests, msg: "queue full", retryAfterSec: 1}
+			aerr := &apiError{status: http.StatusTooManyRequests, code: CodeOverloaded, msg: "queue full", retryAfterSec: 1}
 			s.resolveFlight(p.key, f, nil, aerr)
 			s.writeError(w, aerr)
 			s.observe(ep, http.StatusTooManyRequests, "", p, start)
@@ -398,7 +501,7 @@ func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 			// the same timeout (their own deadlines are no longer than the
 			// work they were waiting on).
 			s.mTimeouts.Inc()
-			aerr := &apiError{status: http.StatusGatewayTimeout, msg: "deadline exceeded"}
+			aerr := timeoutError()
 			s.resolveFlight(p.key, f, nil, aerr)
 			s.writeError(w, aerr)
 			s.observe(ep, http.StatusGatewayTimeout, "", p, start)
@@ -418,7 +521,7 @@ type healthState struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, msg: "use GET", allow: http.MethodGet})
+		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: CodeMethodNotAllowed, msg: "use GET", allow: http.MethodGet})
 		return
 	}
 	h := healthState{
@@ -446,7 +549,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // by default, the obs text rendering with ?format=text.
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, msg: "use GET", allow: http.MethodGet})
+		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: CodeMethodNotAllowed, msg: "use GET", allow: http.MethodGet})
 		return
 	}
 	snap := s.reg.Snapshot()
@@ -457,7 +560,7 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := snap.JSON()
 	if err != nil {
-		s.writeError(w, &apiError{status: http.StatusInternalServerError, msg: err.Error()})
+		s.writeError(w, internalError("%v", err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -473,6 +576,10 @@ func (s *Server) writeBody(w http.ResponseWriter, body []byte, cacheState string
 	w.Write(body)
 }
 
+// writeError renders the uniform error envelope. Every non-2xx body the
+// service writes goes through here, so the shape — and the stable code — is
+// the same whether the failure was a bad method, a validation error, shed
+// load or a recovered panic.
 func (s *Server) writeError(w http.ResponseWriter, aerr *apiError) {
 	if aerr.status >= http.StatusInternalServerError && aerr.status != http.StatusServiceUnavailable {
 		s.mErrors.Inc()
@@ -483,9 +590,13 @@ func (s *Server) writeError(w http.ResponseWriter, aerr *apiError) {
 	if aerr.retryAfterSec > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(aerr.retryAfterSec))
 	}
+	code := aerr.code
+	if code == "" { // defensive: every constructor sets one
+		code = CodeInternal
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(aerr.status)
-	body, _ := json.Marshal(ErrorResponse{Error: aerr.msg})
+	body, _ := json.Marshal(ErrorResponse{Error: ErrorDetail{Code: code, Message: aerr.msg, Fields: aerr.fields}})
 	w.Write(append(body, '\n'))
 }
 
@@ -493,6 +604,16 @@ func (s *Server) writeError(w http.ResponseWriter, aerr *apiError) {
 // Observer is configured, emits the request_done access-log event. All
 // wall-clock readings stay on this observational path.
 func (s *Server) observe(ep endpoint, status int, cacheState string, p *parsedRequest, start time.Time) {
+	// Outcome accounting first: observe runs exactly once per scheduling
+	// arrival, which is what makes requests_total == 2xx+4xx+5xx hold.
+	switch {
+	case status < 300:
+		s.m2xx.Inc()
+	case status < 500:
+		s.m4xx.Inc()
+	default:
+		s.m5xx.Inc()
+	}
 	elapsed := time.Since(start)
 	s.hLatency.Observe(float64(elapsed) / float64(time.Millisecond))
 	if s.opts.Observer == nil {

@@ -357,21 +357,26 @@ func TestRequestValidation(t *testing.T) {
 	cases := []struct {
 		name, method, path, body string
 		want                     int
+		code                     string
+		// field, when non-empty, must appear among the 422's field paths.
+		field string
 	}{
-		{"method", http.MethodGet, "/v1/map", "", http.StatusMethodNotAllowed},
-		{"bad json", http.MethodPost, "/v1/map", "{", http.StatusBadRequest},
-		{"unknown field", http.MethodPost, "/v1/map", `{"etc":[[1]],"heuristic":"met","sead":1}`, http.StatusBadRequest},
-		{"trailing data", http.MethodPost, "/v1/map", `{"etc":[[1]],"heuristic":"met"}{}`, http.StatusBadRequest},
-		{"empty matrix", http.MethodPost, "/v1/map", `{"etc":[],"heuristic":"met"}`, http.StatusBadRequest},
-		{"non-positive entry", http.MethodPost, "/v1/map", `{"etc":[[0]],"heuristic":"met"}`, http.StatusBadRequest},
-		{"ragged matrix", http.MethodPost, "/v1/map", `{"etc":[[1,2],[3]],"heuristic":"met"}`, http.StatusBadRequest},
-		{"unknown heuristic", http.MethodPost, "/v1/map", `{"etc":[[1]],"heuristic":"nope"}`, http.StatusBadRequest},
-		{"unknown ties", http.MethodPost, "/v1/map", `{"etc":[[1]],"heuristic":"met","ties":"coin"}`, http.StatusBadRequest},
-		{"bad ready", http.MethodPost, "/v1/map", `{"etc":[[1]],"heuristic":"met","ready":[-1]}`, http.StatusBadRequest},
-		{"ready shape", http.MethodPost, "/v1/map", `{"etc":[[1]],"heuristic":"met","ready":[0,0]}`, http.StatusBadRequest},
-		{"negative timeout", http.MethodPost, "/v1/map", `{"etc":[[1]],"heuristic":"met","timeout_ms":-5}`, http.StatusBadRequest},
-		{"healthz method", http.MethodPost, "/healthz", "", http.StatusMethodNotAllowed},
-		{"metricz method", http.MethodPost, "/metricz", "", http.StatusMethodNotAllowed},
+		{"method", http.MethodGet, "/v1/map", "", http.StatusMethodNotAllowed, CodeMethodNotAllowed, ""},
+		{"bad json", http.MethodPost, "/v1/map", "{", http.StatusBadRequest, CodeBadRequest, ""},
+		{"unknown field", http.MethodPost, "/v1/map", `{"etc":[[1]],"heuristic":"met","sead":1}`, http.StatusBadRequest, CodeBadRequest, ""},
+		{"trailing data", http.MethodPost, "/v1/map", `{"etc":[[1]],"heuristic":"met"}{}`, http.StatusBadRequest, CodeBadRequest, ""},
+		{"empty matrix", http.MethodPost, "/v1/map", `{"etc":[],"heuristic":"met"}`, http.StatusUnprocessableEntity, CodeValidationFailed, "etc"},
+		{"empty row", http.MethodPost, "/v1/map", `{"etc":[[]],"heuristic":"met"}`, http.StatusUnprocessableEntity, CodeValidationFailed, "etc[0]"},
+		{"non-positive entry", http.MethodPost, "/v1/map", `{"etc":[[0]],"heuristic":"met"}`, http.StatusUnprocessableEntity, CodeValidationFailed, "etc[0][0]"},
+		{"negative entry", http.MethodPost, "/v1/map", `{"etc":[[1,2],[-3,4]],"heuristic":"met"}`, http.StatusUnprocessableEntity, CodeValidationFailed, "etc[1][0]"},
+		{"ragged matrix", http.MethodPost, "/v1/map", `{"etc":[[1,2],[3]],"heuristic":"met"}`, http.StatusUnprocessableEntity, CodeValidationFailed, "etc[1]"},
+		{"unknown heuristic", http.MethodPost, "/v1/map", `{"etc":[[1]],"heuristic":"nope"}`, http.StatusUnprocessableEntity, CodeValidationFailed, "heuristic"},
+		{"unknown ties", http.MethodPost, "/v1/map", `{"etc":[[1]],"heuristic":"met","ties":"coin"}`, http.StatusUnprocessableEntity, CodeValidationFailed, "ties"},
+		{"bad ready", http.MethodPost, "/v1/map", `{"etc":[[1]],"heuristic":"met","ready":[-1]}`, http.StatusUnprocessableEntity, CodeValidationFailed, "ready[0]"},
+		{"ready shape", http.MethodPost, "/v1/map", `{"etc":[[1]],"heuristic":"met","ready":[0,0]}`, http.StatusUnprocessableEntity, CodeValidationFailed, "ready"},
+		{"negative timeout", http.MethodPost, "/v1/map", `{"etc":[[1]],"heuristic":"met","timeout_ms":-5}`, http.StatusUnprocessableEntity, CodeValidationFailed, "timeout_ms"},
+		{"healthz method", http.MethodPost, "/healthz", "", http.StatusMethodNotAllowed, CodeMethodNotAllowed, ""},
+		{"metricz method", http.MethodPost, "/metricz", "", http.StatusMethodNotAllowed, CodeMethodNotAllowed, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -380,10 +385,112 @@ func TestRequestValidation(t *testing.T) {
 				t.Fatalf("status %d, want %d: %s", rec.Code, tc.want, rec.Body.String())
 			}
 			var er ErrorResponse
-			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == "" {
-				t.Fatalf("error body not JSON with error field: %s", rec.Body.String())
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error.Code == "" || er.Error.Message == "" {
+				t.Fatalf("error body not the envelope: %s", rec.Body.String())
+			}
+			if er.Error.Code != tc.code {
+				t.Fatalf("error code %q, want %q: %s", er.Error.Code, tc.code, rec.Body.String())
+			}
+			if tc.field != "" {
+				found := false
+				for _, f := range er.Error.Fields {
+					if f.Path == tc.field {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("422 fields missing path %q: %s", tc.field, rec.Body.String())
+				}
 			}
 		})
+	}
+}
+
+// TestValidationCollectsMultipleFields pins the 422 contract: one response
+// reports every invalid field (up to the cap), and the message carries the
+// uncapped total.
+func TestValidationCollectsMultipleFields(t *testing.T) {
+	s := NewServer(Options{})
+	defer drain(t, s)
+	body := `{"etc":[[0,1],[2,-3]],"heuristic":"nope","ties":"coin","timeout_ms":-1}`
+	rec := post(s, "/v1/map", body)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", rec.Code, rec.Body.String())
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"etc[0][0]", "etc[1][1]", "heuristic", "ties", "timeout_ms"}
+	if len(er.Error.Fields) != len(want) {
+		t.Fatalf("%d field errors, want %d: %s", len(er.Error.Fields), len(want), rec.Body.String())
+	}
+	for i, f := range er.Error.Fields {
+		if f.Path != want[i] {
+			t.Fatalf("field %d path %q, want %q", i, f.Path, want[i])
+		}
+	}
+	if !strings.Contains(er.Error.Message, "5 invalid field") {
+		t.Fatalf("message should carry the total count: %q", er.Error.Message)
+	}
+
+	// A hostile matrix full of invalid cells is capped at maxFieldErrors
+	// entries, with the full count in the message.
+	rows := make([]string, 10)
+	for i := range rows {
+		rows[i] = "[-1,-1,-1]"
+	}
+	big := `{"etc":[` + strings.Join(rows, ",") + `],"heuristic":"min-min"}`
+	rec = post(s, "/v1/map", big)
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", rec.Code, rec.Body.String())
+	}
+	er = ErrorResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Error.Fields) != maxFieldErrors {
+		t.Fatalf("%d field errors, want cap %d", len(er.Error.Fields), maxFieldErrors)
+	}
+	if !strings.Contains(er.Error.Message, "30 invalid field") {
+		t.Fatalf("message should carry the uncapped total: %q", er.Error.Message)
+	}
+}
+
+// TestAdmissionGuards pins the resource-guard contract: requests over the
+// cell cap or the memory estimate are refused with 413 before any per-cell
+// validation work, and the guards can be disabled with negative options.
+func TestAdmissionGuards(t *testing.T) {
+	s := NewServer(Options{MaxCells: 8})
+	defer drain(t, s)
+	// 3x3 = 9 cells > 8.
+	rec := post(s, "/v1/map", `{"etc":[[1,1,1],[1,1,1],[1,1,1]],"heuristic":"min-min"}`)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", rec.Code, rec.Body.String())
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error.Code != CodePayloadTooLarge {
+		t.Fatalf("413 envelope: %s", rec.Body.String())
+	}
+	if !strings.Contains(er.Error.Message, "9 cells") {
+		t.Fatalf("413 should name the cell count: %q", er.Error.Message)
+	}
+	// 2x4 = 8 cells passes the guard.
+	if rec := post(s, "/v1/map", `{"etc":[[1,1,1,1],[1,1,1,1]],"heuristic":"min-min"}`); rec.Code != http.StatusOK {
+		t.Fatalf("under-cap request: status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	est := NewServer(Options{MaxEstimatedBytes: 100})
+	defer drain(t, est)
+	rec = post(est, "/v1/iterate", `{"etc":[[1,1,1],[1,1,1],[1,1,1]],"heuristic":"min-min"}`)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("estimate guard: status %d, want 413: %s", rec.Code, rec.Body.String())
+	}
+
+	off := NewServer(Options{MaxCells: -1, MaxEstimatedBytes: -1})
+	defer drain(t, off)
+	if rec := post(off, "/v1/map", `{"etc":[[1,1,1],[1,1,1],[1,1,1]],"heuristic":"min-min"}`); rec.Code != http.StatusOK {
+		t.Fatalf("disabled guards: status %d: %s", rec.Code, rec.Body.String())
 	}
 }
 
@@ -471,8 +578,8 @@ func TestOversizedBodyReturns413(t *testing.T) {
 		t.Fatalf("status %d, want 413: %s", rec.Code, rec.Body.String())
 	}
 	var er ErrorResponse
-	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || !strings.Contains(er.Error, "64") {
-		t.Fatalf("413 body should name the limit: %s", rec.Body.String())
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error.Code != CodePayloadTooLarge || !strings.Contains(er.Error.Message, "64") {
+		t.Fatalf("413 body should carry code %q and name the limit: %s", CodePayloadTooLarge, rec.Body.String())
 	}
 	// A body under the limit still parses (the limit, not the detector,
 	// decides).

@@ -2,12 +2,13 @@
 # The full repository gate in one command — CI and builders run the same
 # thing (see CLAUDE.md):
 #
-#   gofmt clean, go vet, build, full test suite, paper self-check, and the
+#   gofmt clean, go vet, build, full test suite, paper self-check, the
 #   schedd serving smoke (ephemeral port, pinned Table-1 trace, cache
-#   byte-identity, fault-injected recovery, graceful drain). The -race leg
-#   covers internal/serve's concurrency tests plus the resilience layer
-#   (internal/faults, internal/client) and both daemons' end-to-end tests,
-#   including the fault-injected selfcheck and schedload's fault proxy.
+#   byte-identity, fault-injected recovery, panic isolation, chaos leg,
+#   graceful drain) and the schedchaos scenario sweep (every builtin phased
+#   fault scenario, every invariant). The -race leg covers internal/serve's
+#   concurrency tests plus the resilience layer (internal/faults,
+#   internal/client), the chaos harness and the daemons' end-to-end tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,3 +37,6 @@ echo "[ok  ] paperrepro"
 
 go run ./cmd/schedd -selfcheck >/dev/null
 echo "[ok  ] schedd selfcheck"
+
+go run ./cmd/schedchaos >/dev/null
+echo "[ok  ] schedchaos scenarios"
