@@ -7,7 +7,7 @@
 //
 //	schedd [-addr 127.0.0.1:8080] [-queue 64] [-workers N] [-cache 256]
 //	       [-timeout 5s] [-drain-timeout 10s] [-access-log requests.jsonl]
-//	       [-fault-inject spec]
+//	       [-trace-out spans.jsonl] [-pprof 127.0.0.1:6060] [-fault-inject spec]
 //	schedd -selfcheck
 //
 // Endpoints:
@@ -16,6 +16,17 @@
 //	POST /v1/iterate  the iterative technique  (serve.Request -> serve.IterateResponse)
 //	GET  /healthz     liveness + queue state; 503 while draining
 //	GET  /metricz     serve.* metrics snapshot (JSON; ?format=text for text)
+//	GET  /statusz     operational summary: counters, cache hit ratio, gauges,
+//	                  request latency and per-stage latency quantiles
+//
+// Every scheduling request is traced: a root span plus one span per stage
+// (decode, validate, queue_wait, cache_lookup, coalesce_wait, compute,
+// marshal, write), with IDs derived from the canonical request key and an
+// in-process sequence — never from the clock. The trace ID is echoed in the
+// X-Schedd-Trace response header and stamped on access-log records; span
+// durations feed the /statusz stage quantiles. -trace-out additionally
+// appends every span as JSONL (analyze with cmd/schedtrace). -pprof serves
+// net/http/pprof on a secondary listener, never on the service address.
 //
 // Responses are deterministic in the request: same matrix, heuristic, tie
 // policy and seed give byte-identical bodies, cached or computed. -selfcheck
@@ -45,6 +56,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the -pprof listener's DefaultServeMux
 	"os"
 	"os/signal"
 	"strings"
@@ -77,6 +89,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		timeout      = fs.Duration("timeout", 0, "per-request deadline cap (0 = default 5s)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "how long to wait for in-flight requests on shutdown")
 		accessLog    = fs.String("access-log", "", "append request_done events as JSONL to this path")
+		traceOut     = fs.String("trace-out", "", "append request spans as JSONL to this path (analyze with cmd/schedtrace)")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on a secondary listener at this address (e.g. 127.0.0.1:6060); never exposed on -addr")
 		faultInject  = fs.String("fault-inject", "", "STAGING ONLY: wrap the service in the seeded fault injector (e.g. seed=7,latency=0.1:5ms,reject=0.2:503:1,drop=0.05,truncate=0.05)")
 		selfcheck    = fs.Bool("selfcheck", false, "serve on an ephemeral port, verify the pinned Table-1 trace end to end, drain, exit")
 	)
@@ -110,6 +124,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 		logSink = obs.NewJSONL(f)
 		opts.Observer = logSink
 	}
+	// Tracing is always on in the daemon: span durations feed the /statusz
+	// stage quantiles through a span-metrics observer on the server's own
+	// registry. -trace-out additionally streams every span as JSONL, and the
+	// selfcheck adds an in-memory collector so its trace leg can verify the
+	// span trees it produced. Span IDs derive from request keys and a
+	// sequence, so none of this perturbs response bytes.
+	reg := obs.NewMetrics()
+	opts.Metrics = reg
+	sinks := obs.Multi{obs.NewSpanMetricsObserver(reg, "serve")}
+	var traceSink *obs.JSONL
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceSink = obs.NewJSONL(f)
+		sinks = append(sinks, traceSink)
+	}
+	var spanCol *obs.Collector
+	if *selfcheck {
+		spanCol = &obs.Collector{}
+		sinks = append(sinks, spanCol)
+	}
+	opts.Tracer = obs.NewTracer(sinks)
 	if *selfcheck {
 		// The selfcheck's panic leg drives a deliberate panic through the
 		// worker pool to prove isolation; the trigger fires only on the chaos
@@ -122,9 +161,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	srv := serve.NewServer(opts)
 
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		defer pln.Close()
+		fmt.Fprintf(stdout, "schedd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go http.Serve(pln, nil) // DefaultServeMux carries only the pprof handlers
+	}
+
 	var err error
 	if *selfcheck {
-		err = selfCheck(srv, stdout)
+		err = selfCheck(srv, spanCol, stdout)
 	} else {
 		handler := http.Handler(srv.Handler())
 		if *faultInject != "" {
@@ -139,6 +188,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if logSink != nil {
 		if err := logSink.Err(); err != nil {
 			return fmt.Errorf("writing -access-log: %w", err)
+		}
+	}
+	if traceSink != nil {
+		if err := traceSink.Err(); err != nil {
+			return fmt.Errorf("writing -trace-out: %w", err)
 		}
 	}
 	return nil
@@ -178,9 +232,10 @@ func serveForever(srv *serve.Server, handler http.Handler, addr string, drainTim
 
 // selfCheck exercises the whole service end to end over a real TCP
 // listener: the pinned Table-1 Min-Min matrix through /v1/iterate (computed
-// then cached, byte-identical), /healthz, /metricz, and a graceful drain.
-// Everything checked is deterministic; only [ok  ] lines are printed.
-func selfCheck(srv *serve.Server, stdout io.Writer) error {
+// then cached, byte-identical), /healthz, /metricz, the tracing path
+// (spans land in spanCol), and a graceful drain. Everything checked is
+// deterministic; only [ok  ] lines are printed.
+func selfCheck(srv *serve.Server, spanCol *obs.Collector, stdout io.Writer) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -268,6 +323,9 @@ func selfCheck(srv *serve.Server, stdout io.Writer) error {
 	}
 	fmt.Fprintln(stdout, "[ok  ] metricz reports the cache hit")
 
+	if err := traceLeg(base, spanCol, reqBody, stdout); err != nil {
+		return err
+	}
 	if err := faultLeg(srv, base, first, reqBody, stdout); err != nil {
 		return err
 	}
@@ -287,6 +345,133 @@ func selfCheck(srv *serve.Server, stdout io.Writer) error {
 		return fmt.Errorf("drain: %w", err)
 	}
 	fmt.Fprintln(stdout, "[ok  ] drained")
+	return nil
+}
+
+// traceLeg verifies the tracing path end to end: the pinned Table-1 request
+// answers with an X-Schedd-Trace header naming one of the collected roots,
+// every traced request so far produced exactly one well-formed span tree
+// with the documented stages, all three share the deterministic key half of
+// the trace ID, and /statusz folds the span durations into per-stage
+// quantiles.
+func traceLeg(base string, spanCol *obs.Collector, reqBody []byte, stdout io.Writer) error {
+	resp, err := http.Post(base+"/v1/iterate", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	headerID := resp.Header.Get(serve.TraceHeader)
+	if resp.StatusCode != http.StatusOK || headerID == "" {
+		return fmt.Errorf("trace leg: status %d, %s header %q", resp.StatusCode, serve.TraceHeader, headerID)
+	}
+
+	// Spans are emitted when the handler finishes, which can trail the
+	// response bytes by a scheduler beat. A trace emits its root first and
+	// its "write" stage last, so three write spans mean three complete
+	// trees have landed. The spans themselves are deterministic — only
+	// their arrival in the collector needs a grace period.
+	var all []obs.Span
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		all = all[:0]
+		writes := 0
+		for _, e := range spanCol.Events() {
+			if sp, ok := e.(obs.Span); ok {
+				all = append(all, sp)
+				if sp.Name == "write" {
+					writes++
+				}
+			}
+		}
+		if writes >= 3 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sum := obs.SummarizeSpans(all)
+	if !sum.WellFormed() || sum.Roots != 3 {
+		return fmt.Errorf("trace leg: %d well-formed roots for 3 requests (malformed: %v)", sum.Roots, sum.Malformed)
+	}
+
+	keyHalves := map[string]bool{}
+	headerMatched := false
+	var missStages, hitStages map[string]bool
+	for _, sp := range all {
+		if sp.ParentID != 0 {
+			continue
+		}
+		keyHalves[strings.SplitN(sp.TraceID, "-", 2)[0]] = true
+		if sp.TraceID == headerID {
+			headerMatched = true
+		}
+		kids := map[string]bool{}
+		for _, k := range all {
+			if k.TraceID == sp.TraceID && k.ParentID != 0 {
+				kids[k.Name] = true
+			}
+		}
+		if sp.Cache == "miss" {
+			missStages = kids
+		} else {
+			hitStages = kids
+		}
+	}
+	if !headerMatched {
+		return fmt.Errorf("trace leg: header trace ID %q matches no collected root", headerID)
+	}
+	if len(keyHalves) != 1 {
+		return fmt.Errorf("trace leg: trace-ID key halves %v, want one shared half for one pinned request", keyHalves)
+	}
+	for _, name := range []string{"decode", "validate", "queue_wait", "cache_lookup", "compute", "marshal", "write"} {
+		if !missStages[name] {
+			return fmt.Errorf("trace leg: miss trace lacks the %s stage (has %v)", name, missStages)
+		}
+	}
+	if hitStages == nil || hitStages["compute"] || !hitStages["cache_lookup"] || !hitStages["write"] {
+		return fmt.Errorf("trace leg: hit trace stages wrong: %v", hitStages)
+	}
+	fmt.Fprintln(stdout, "[ok  ] every request traced: well-formed span trees, stable key half, header matches a root")
+
+	resp, err = http.Get(base + "/statusz")
+	if err != nil {
+		return err
+	}
+	stBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	var st struct {
+		RequestsTotal int64   `json:"requests_total"`
+		CacheHits     int64   `json:"cache_hits"`
+		CacheHitRatio float64 `json:"cache_hit_ratio"`
+		LatencyMS     struct {
+			Count int `json:"count"`
+		} `json:"latency_ms"`
+		Stages []struct {
+			Name  string `json:"name"`
+			Count int    `json:"count"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal(stBody, &st); err != nil {
+		return fmt.Errorf("decoding /statusz: %w (%s)", err, stBody)
+	}
+	stages := map[string]int{}
+	for _, row := range st.Stages {
+		stages[row.Name] = row.Count
+	}
+	switch {
+	case st.RequestsTotal != 3 || st.CacheHits != 2:
+		return fmt.Errorf("statusz requests/hits = %d/%d, want 3/2: %s", st.RequestsTotal, st.CacheHits, stBody)
+	case st.CacheHitRatio < 0.66 || st.CacheHitRatio > 0.67:
+		return fmt.Errorf("statusz cache_hit_ratio = %g, want 2/3: %s", st.CacheHitRatio, stBody)
+	case st.LatencyMS.Count != 3:
+		return fmt.Errorf("statusz latency_ms count = %d, want 3: %s", st.LatencyMS.Count, stBody)
+	case stages["compute"] != 1 || stages["cache_lookup"] != 3 || stages["write"] != 3:
+		return fmt.Errorf("statusz stage counts %v, want compute=1 cache_lookup=3 write=3: %s", stages, stBody)
+	}
+	fmt.Fprintln(stdout, "[ok  ] statusz folds the spans into per-stage latency quantiles")
 	return nil
 }
 

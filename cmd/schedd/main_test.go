@@ -20,10 +20,12 @@ func TestSelfcheck(t *testing.T) {
 		"[ok  ] /v1/iterate reproduces the pinned Table-1 trace",
 		"[ok  ] cache hit is byte-identical to the computed response",
 		"[ok  ] metricz reports the cache hit",
+		"[ok  ] every request traced: well-formed span trees, stable key half, header matches a root",
+		"[ok  ] statusz folds the spans into per-stage latency quantiles",
 		"[ok  ] 16 fault-injected replays recovered byte-identical responses",
 		"[ok  ] metricz reports 13 injected faults (3 rejected, 3 dropped, 5 truncated) and 11 client retries",
 		"[ok  ] deliberate panic isolated: structured 500, panics_total=1, cache intact",
-		"[ok  ] chaos scenario breaker-trip: 7 invariants hold",
+		"[ok  ] chaos scenario breaker-trip: 8 invariants hold",
 		"[ok  ] drained",
 	} {
 		if !strings.Contains(stdout.String(), want) {
@@ -33,7 +35,8 @@ func TestSelfcheck(t *testing.T) {
 }
 
 // TestSelfcheckWritesAccessLog checks the -access-log JSONL sink records
-// one request_done line per scheduling request.
+// one request_done line per scheduling request, each stamped with the
+// request's trace ID.
 func TestSelfcheckWritesAccessLog(t *testing.T) {
 	path := t.TempDir() + "/requests.jsonl"
 	var stdout, stderr bytes.Buffer
@@ -66,10 +69,24 @@ func TestSelfcheckWritesAccessLog(t *testing.T) {
 		if !strings.Contains(line, `"event":"request_done"`) || !strings.Contains(line, `"endpoint":"/v1/iterate"`) {
 			t.Fatalf("unexpected access-log line: %s", line)
 		}
+		if !strings.Contains(line, `"trace_id":"`) {
+			t.Fatalf("request_done line lacks a trace_id: %s", line)
+		}
 		done = append(done, line)
 	}
 	if recovered != 1 {
 		t.Fatalf("%d panic_recovered lines, want exactly 1:\n%s", recovered, data)
+	}
+	// Every request gets its own trace: IDs never repeat, even though the
+	// replays share one canonical request key (the sequence half differs).
+	ids := map[string]bool{}
+	for _, line := range done {
+		_, rest, _ := strings.Cut(line, `"trace_id":"`)
+		id, _, _ := strings.Cut(rest, `"`)
+		if ids[id] {
+			t.Fatalf("trace_id %s repeated across requests:\n%s", id, data)
+		}
+		ids[id] = true
 	}
 	lines = done
 	if !strings.Contains(lines[0], `"cache":"miss"`) {

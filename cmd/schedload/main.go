@@ -23,7 +23,14 @@
 //	          [-concurrency 8] [-tasks 16] [-machines 4] [-distinct 4]
 //	          [-class hihi-i] [-heuristic min-min] [-ties det] [-seed 1]
 //	          [-retries 3] [-backoff 10ms] [-timeout 5s] [-faults spec]
-//	          [-verify=true]
+//	          [-trace-out spans.jsonl] [-verify=true]
+//
+// With -trace-out every Post is traced client-side — a root span per
+// logical request with one child span per HTTP attempt (carrying the
+// propagated trace ID and the server's echo) and per backoff sleep —
+// appended as JSONL for cmd/schedtrace. Span IDs derive from the request
+// key and a sequence, so the span set is deterministic in the flags even
+// though durations are wall-clock.
 package main
 
 import (
@@ -80,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		backoff     = fs.Duration("backoff", 10*time.Millisecond, "base retry backoff (exponential, seeded jitter)")
 		timeout     = fs.Duration("timeout", 5*time.Second, "per-attempt request timeout (a stalled daemon costs bounded time)")
 		faultSpec   = fs.String("faults", "", "interpose an in-process seeded fault proxy, e.g. seed=7,reject=0.2:503:1,drop=0.1,truncate=0.1")
+		traceOut    = fs.String("trace-out", "", "append client-side request spans as JSONL to this path (analyze with cmd/schedtrace)")
 		verify      = fs.Bool("verify", true, "assert byte-identical responses for identical request bodies")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -162,12 +170,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if maxRetries == 0 {
 		maxRetries = -1
 	}
+	var traceSink *obs.JSONL
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceSink = obs.NewJSONL(f)
+		tracer = obs.NewTracer(traceSink)
+	}
 	cl := client.New(client.Options{
 		MaxRetries:  maxRetries,
 		BaseBackoff: *backoff,
 		Timeout:     *timeout,
 		Seed:        *seed,
 		Metrics:     reg,
+		Tracer:      tracer,
 	})
 	var wg sync.WaitGroup
 	start := time.Now() // wall-clock: throughput/latency reporting only
@@ -264,6 +284,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d requests failed", failed, *requests)
+	}
+	if traceSink != nil {
+		if err := traceSink.Err(); err != nil {
+			return fmt.Errorf("writing -trace-out: %w", err)
+		}
 	}
 	return nil
 }

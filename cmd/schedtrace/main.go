@@ -1,0 +1,77 @@
+// Command schedtrace analyzes a span JSONL stream written by
+// schedd -trace-out or schedload -trace-out: it verifies the stream is
+// structurally well-formed (exactly one root span per trace, no orphaned
+// parent links or duplicate span IDs, no stage extending past its root) and
+// prints a per-stage breakdown.
+//
+// Usage:
+//
+//	schedtrace [-counts] [-json] spans.jsonl   (or - for stdin)
+//
+// The default table includes wall-clock duration quantiles, observational
+// only. With -counts those columns are omitted, leaving only fields that
+// are deterministic in the request stream — the form golden files and
+// scripts/check.sh pin. Non-span lines (e.g. access-log records sharing the
+// sink file) are ignored. A malformed stream renders its violations and
+// exits non-zero.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "schedtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("schedtrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		counts  = fs.Bool("counts", false, "omit the wall-clock duration columns (deterministic output for goldens)")
+		jsonOut = fs.Bool("json", false, "emit the summary as JSON instead of the table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("want exactly one span JSONL file (or - for stdin)")
+	}
+	var r io.Reader = os.Stdin
+	if name := fs.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	spans, err := obs.ReadSpans(r)
+	if err != nil {
+		return err
+	}
+	sum := obs.SummarizeSpans(spans)
+	if *jsonOut {
+		body, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", body)
+	} else {
+		sum.Render(stdout, !*counts)
+	}
+	if !sum.WellFormed() {
+		return fmt.Errorf("span stream malformed (%d violations)", len(sum.Malformed))
+	}
+	return nil
+}

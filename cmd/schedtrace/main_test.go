@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestCountsGolden pins the -counts rendering of the pinned fixture stream:
+// with the wall-clock columns omitted, the output is a pure function of the
+// span stream, so the golden file holds byte for byte. The fixture
+// interleaves request_done lines to pin that non-span records are skipped.
+func TestCountsGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-counts", "testdata/spans.jsonl"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	want, err := os.ReadFile("testdata/counts.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("output differs from testdata/counts.golden:\n got:\n%s\nwant:\n%s", stdout.Bytes(), want)
+	}
+}
+
+// TestMalformedStreamFails pins the error contract: a structurally broken
+// stream renders its violations and returns an error.
+func TestMalformedStreamFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-counts", "testdata/malformed.jsonl"}, &stdout, &stderr)
+	if err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("err = %v, want a malformed-stream error", err)
+	}
+	for _, want := range []string{
+		"MALFORMED: trace 00000000000000bb-00000001 span 2 (decode): parent 9 not in trace",
+		"MALFORMED: trace 00000000000000bb-00000002 has 0 root spans, want exactly 1",
+	} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout.String())
+		}
+	}
+}
+
+// TestJSONOutput checks -json emits the summary structure.
+func TestJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-json", "testdata/spans.jsonl"}, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	var sum struct {
+		Traces int `json:"traces"`
+		Roots  int `json:"roots"`
+		Spans  int `json:"spans"`
+		Stages []struct {
+			Name  string `json:"name"`
+			Count int    `json:"count"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &sum); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, stdout.String())
+	}
+	if sum.Traces != 2 || sum.Roots != 2 || sum.Spans != 13 {
+		t.Fatalf("traces/roots/spans = %d/%d/%d, want 2/2/13", sum.Traces, sum.Roots, sum.Spans)
+	}
+	if len(sum.Stages) != 8 || sum.Stages[0].Name != "cache_lookup" {
+		t.Fatalf("stages wrong: %+v", sum.Stages)
+	}
+}
+
+// TestUsageErrors pins the flag/arg error contract.
+func TestUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Fatal("run with no file: want error")
+	}
+	if err := run([]string{"testdata/nope.jsonl"}, &stdout, &stderr); err == nil {
+		t.Fatal("run with missing file: want error")
+	}
+}

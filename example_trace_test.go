@@ -1,0 +1,52 @@
+package hcsched_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+
+	hcsched "repro"
+)
+
+// Deterministic request tracing: a Tracer on the server emits a root span
+// plus one span per stage for every request, with the trace ID echoed in
+// the X-Schedd-Trace header. IDs derive from the request key and a
+// sequence, so the structural output below is reproducible; only the
+// (omitted) durations are wall-clock. Driving the handler directly keeps
+// the example synchronous — over real TCP, spans land in the sink when the
+// handler finishes, which may trail the response bytes.
+func ExampleNewTracer() {
+	spans := &hcsched.EventCollector{}
+	srv := hcsched.NewServer(hcsched.ServeOptions{Tracer: hcsched.NewTracer(spans)})
+	defer srv.Drain(context.Background())
+
+	body := `{"etc":[[4,9,9],[9,2,2],[9,9,3]],"heuristic":"min-min"}`
+	req := httptest.NewRequest("POST", "/v1/map", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	fmt.Println("traced:", rec.Header().Get(hcsched.TraceHeader) != "")
+
+	var collected []hcsched.Span
+	for _, e := range spans.Events() {
+		if sp, ok := e.(hcsched.Span); ok {
+			collected = append(collected, sp)
+		}
+	}
+	sum := hcsched.SummarizeSpans(collected)
+	fmt.Printf("traces %d roots %d well-formed %v\n", sum.Traces, sum.Roots, sum.WellFormed())
+	for _, st := range sum.Stages {
+		fmt.Printf("%s x%d\n", st.Name, st.Count)
+	}
+	// Output:
+	// traced: true
+	// traces 1 roots 1 well-formed true
+	// cache_lookup x1
+	// compute x1
+	// decode x1
+	// marshal x1
+	// queue_wait x1
+	// serve x1
+	// validate x1
+	// write x1
+}

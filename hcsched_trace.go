@@ -1,0 +1,54 @@
+package hcsched
+
+import (
+	"io"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// TraceHeader is the HTTP header carrying trace IDs: clients propagate
+// their root trace ID in it, servers echo the request's own trace ID back.
+// IDs live in headers and logs only — never in response bodies.
+const TraceHeader = serve.TraceHeader
+
+// Tracing layer (see internal/obs trace.go and cmd/schedtrace): every
+// request through the serving stack can carry a deterministic trace — a
+// root span plus one child span per stage. Trace IDs derive from the
+// canonical request key and an in-process sequence, never from the clock;
+// span durations are wall-clock and observational only. A nil Tracer costs
+// nothing: no span objects, no clock reads.
+type (
+	// Span is one emitted trace span (Kind "span"): root spans have
+	// ParentID 0, stage spans point at their root.
+	Span = obs.Span
+	// Tracer mints traces; wire one into ServeOptions.Tracer or
+	// ClientOptions.Tracer. Construct with NewTracer.
+	Tracer = obs.Tracer
+	// TraceSummary is the structural and per-stage analysis of a span
+	// stream, as produced by SummarizeSpans.
+	TraceSummary = obs.TraceSummary
+	// StageStat is one per-stage row of a TraceSummary.
+	StageStat = obs.StageStat
+)
+
+// NewTracer returns a Tracer emitting every finished trace's spans to sink
+// (root first, then stages in end order). A nil sink returns a nil Tracer,
+// which is valid everywhere and free.
+func NewTracer(sink Observer) *Tracer { return obs.NewTracer(sink) }
+
+// SpanMetricsObserver returns an Observer that folds stage spans into
+// "<prefix>.stage_<name>_ms" histograms in m — the data behind a server's
+// /statusz stage quantiles.
+func SpanMetricsObserver(m *Metrics, prefix string) Observer {
+	return obs.NewSpanMetricsObserver(m, prefix)
+}
+
+// ReadSpans decodes span events from a JSONL stream (as written by a
+// TraceWriter sink), ignoring interleaved non-span records.
+func ReadSpans(r io.Reader) ([]Span, error) { return obs.ReadSpans(r) }
+
+// SummarizeSpans verifies a span stream's structure (one root per trace,
+// no orphans or duplicates, stages nested within their root) and computes
+// per-stage counts and duration quantiles.
+func SummarizeSpans(spans []Span) *TraceSummary { return obs.SummarizeSpans(spans) }

@@ -5,8 +5,10 @@
 // response is either a documented error envelope or byte-identical to the
 // fault-free golden; serve's metrics conserve (requests_total equals the sum
 // of per-outcome counters); queue depth and in-flight return to zero; the
-// goroutine count returns to its pre-scenario baseline; and the circuit
-// breaker only ever takes legal state-machine transitions.
+// goroutine count returns to its pre-scenario baseline; the circuit
+// breaker only ever takes legal state-machine transitions; and spans
+// conserve (exactly one well-formed span tree per request on each side,
+// even for rejected, faulted or panicking requests).
 //
 // Determinism is the point: a scenario is replayed request by request from
 // an explicit seed, serially, so the injector's decision stream — and with
@@ -198,11 +200,16 @@ func Run(sc Scenario) (*Report, error) {
 	baseline := runtime.NumGoroutine()
 	reg := obs.NewMetrics()
 	collector := &obs.Collector{}
+	// Spans collect separately per side so the span-conservation invariant
+	// can compare each stream against its own arrival count.
+	serveSpans := &obs.Collector{}
+	clientSpans := &obs.Collector{}
 	srv := serve.NewServer(serve.Options{
 		Workers:    2,
 		QueueDepth: 256,
 		Metrics:    reg,
 		Observer:   collector,
+		Tracer:     obs.NewTracer(serveSpans),
 		PanicTrigger: func(seed uint64) {
 			if seed == PanicSeed {
 				panic("chaos: deliberate panic (sentinel seed)")
@@ -297,6 +304,7 @@ func Run(sc Scenario) (*Report, error) {
 		HTTPClient:       &http.Client{Transport: tr},
 		Metrics:          reg,
 		Observer:         collector,
+		Tracer:           obs.NewTracer(clientSpans),
 	})
 
 	rep := &Report{Scenario: sc.Name, Description: sc.Description, Seed: sc.Seed}
@@ -308,7 +316,8 @@ func Run(sc Scenario) (*Report, error) {
 	}
 
 	panicsScheduled := 0
-	next := 0 // workload cursor: distinct bodies cycle across phases
+	postCalls := 0 // resilient-client Posts: each must yield exactly one client root span
+	next := 0      // workload cursor: distinct bodies cycle across phases
 	for pi, ph := range sc.Phases {
 		pr := PhaseReport{Name: ph.Name, Requests: ph.Requests, Errors: map[string]int{}}
 		if ph.Faults != "" {
@@ -331,6 +340,7 @@ func Run(sc Scenario) (*Report, error) {
 				panicsScheduled++
 			}
 			resp, err := cl.Post(context.Background(), target, body)
+			postCalls++
 			var se *client.StatusError
 			switch {
 			case err == nil:
@@ -363,6 +373,7 @@ func Run(sc Scenario) (*Report, error) {
 	store(srv.Handler())
 	for i, b := range bodies {
 		resp, err := cl.Post(context.Background(), target, b)
+		postCalls++
 		if err != nil {
 			violate("recovery request %d: %v", i, errorClass(err))
 			continue
@@ -419,6 +430,24 @@ func Run(sc Scenario) (*Report, error) {
 		fmt.Sprintf("serve.panics_total=%d for %d scheduled panic requests", rep.Panics, panicsScheduled))
 	check("breaker_legal", breakerLegal(rep.BreakerTransitions),
 		fmt.Sprintf("%d transitions: %s", len(rep.BreakerTransitions), strings.Join(rep.BreakerTransitions, " ")))
+	// Span conservation: exactly one well-formed span tree per request on
+	// each side — server roots match serve arrivals (requests_total covers
+	// goldens, retries and faulted arrivals alike; requests the injector
+	// answered without reaching serve produce no serve trace and no count),
+	// client roots match resilient-client Posts, and neither stream has a
+	// structural violation (several roots, orphan parents, stages past their
+	// root), even for rejected, faulted or panicking requests.
+	srvSum := obs.SummarizeSpans(spansOf(serveSpans))
+	clSum := obs.SummarizeSpans(spansOf(clientSpans))
+	spanDetail := fmt.Sprintf("server %d roots for %d arrivals, client %d roots for %d posts",
+		srvSum.Roots, total, clSum.Roots, postCalls)
+	if !srvSum.WellFormed() || !clSum.WellFormed() {
+		spanDetail += "; malformed: " + strings.Join(append(srvSum.Malformed, clSum.Malformed...), "; ")
+	}
+	check("span_conservation",
+		srvSum.WellFormed() && clSum.WellFormed() &&
+			int64(srvSum.Roots) == total && clSum.Roots == postCalls,
+		spanDetail)
 	leaked, goroutines := goroutineLeak(baseline)
 	// The passing detail carries no counts: the pre-run baseline depends on
 	// process state (idle pool goroutines from earlier runs), and absolute
@@ -437,6 +466,17 @@ func Run(sc Scenario) (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// spansOf extracts the span events from a collector.
+func spansOf(col *obs.Collector) []obs.Span {
+	var out []obs.Span
+	for _, e := range col.Events() {
+		if sp, ok := e.(obs.Span); ok {
+			out = append(out, sp)
+		}
+	}
+	return out
 }
 
 // responsesDetail summarizes the violation list (already capped) for the

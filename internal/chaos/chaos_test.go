@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -25,6 +26,43 @@ func TestBuiltinScenariosPass(t *testing.T) {
 				t.Fatal("report not marked Pass")
 			}
 		})
+	}
+}
+
+// TestSpanConservationAcrossSeeds replays every builtin scenario under
+// several seed overrides and requires the span_conservation invariant (and
+// the whole verdict) to hold for each: one well-formed span tree per
+// request on both sides of the wire, whatever the fault schedule draws.
+func TestSpanConservationAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed replay is the long leg of the chaos suite")
+	}
+	for _, seed := range []uint64{101, 202, 303} {
+		for _, sc := range Builtin() {
+			sc := sc
+			sc.Seed = seed
+			t.Run(fmt.Sprintf("%s/seed=%d", sc.Name, seed), func(t *testing.T) {
+				rep, err := Run(sc)
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				found := false
+				for _, inv := range rep.Invariants {
+					if inv.Name == "span_conservation" {
+						found = true
+						if !inv.OK {
+							t.Errorf("span_conservation violated: %s", inv.Detail)
+						}
+					}
+				}
+				if !found {
+					t.Fatal("report lacks the span_conservation invariant")
+				}
+				if !rep.Pass {
+					t.Fatal("report not marked Pass")
+				}
+			})
+		}
 	}
 }
 

@@ -80,7 +80,18 @@ type Options struct {
 	// Observer, when non-nil, receives obs.ClientRetry and
 	// obs.BreakerTransition events.
 	Observer obs.Observer
+	// Tracer, when non-nil, opens one trace per Post: a root span plus one
+	// attempt span per attempt (annotated with the server's echoed trace ID,
+	// the join key to the server-side trace) and one backoff span per retry
+	// wait. The client's own trace ID travels to the server in the
+	// X-Schedd-Trace request header, identically across every attempt of one
+	// Post. A nil Tracer costs nothing.
+	Tracer *obs.Tracer
 }
+
+// traceHeader mirrors serve.TraceHeader (importing internal/serve here
+// would drag the whole engine into every client binary).
+const traceHeader = "X-Schedd-Trace"
 
 // ErrBreakerOpen is returned (wrapped) when the circuit breaker refuses a
 // request without sending it.
@@ -355,20 +366,41 @@ func retryable(status int) bool {
 // *StatusError for a non-retryable status, or the last failure once
 // retries are exhausted.
 func (c *Client) Post(ctx context.Context, url string, body []byte) (*Response, error) {
+	tr := c.opts.Tracer.StartTrace("post")
+	var traceID string
+	if tr != nil {
+		// Identity is the full request (URL + body), so the client's trace
+		// ID is deterministic in what it sends, like the server's.
+		tr.SetKey(url + "\x00" + string(body))
+		tr.SetEndpoint(url)
+		traceID = tr.ID()
+	}
 	var lastErr error
 	for attempt := 1; ; attempt++ {
 		probe, err := c.admit()
 		if err != nil {
+			tr.Finish(0, "")
 			if lastErr != nil {
 				return nil, fmt.Errorf("%w (last failure: %v)", err, lastErr)
 			}
 			return nil, err
 		}
 		c.mAttempts.Inc()
-		resp, status, ra, err := c.attempt(ctx, url, body)
+		asp := tr.Start("attempt")
+		asp.SetAttempt(attempt)
+		resp, status, ra, echo, err := c.attempt(ctx, url, body, traceID)
+		asp.SetStatus(status)
+		if echo != "" {
+			asp.SetRemote(echo)
+		}
+		if err != nil && status == 0 {
+			asp.SetErr("transport")
+		}
+		asp.End()
 		if err == nil {
 			c.onSuccess(probe)
 			resp.Attempts = attempt
+			tr.Finish(resp.Status, resp.Cache)
 			return resp, nil
 		}
 		lastErr = err
@@ -377,10 +409,12 @@ func (c *Client) Post(ctx context.Context, url string, body []byte) (*Response, 
 			// Deterministic request error (400/404/413/...): the server
 			// answered; this is not a fault, so the breaker stays put.
 			c.onSuccess(probe)
+			tr.Finish(se.Status, "")
 			return nil, err
 		}
 		c.onFailure(probe)
 		if attempt > c.opts.MaxRetries || ctx.Err() != nil {
+			tr.Finish(status, "")
 			return nil, fmt.Errorf("client: %d attempt(s) failed: %w", attempt, lastErr)
 		}
 		delay := c.backoff(attempt, ra)
@@ -394,7 +428,12 @@ func (c *Client) Post(ctx context.Context, url string, body []byte) (*Response, 
 				DelayNS: int64(delay),
 			})
 		}
-		if err := c.sleep(ctx, delay); err != nil {
+		bsp := tr.Start("backoff")
+		bsp.SetAttempt(attempt)
+		err = c.sleep(ctx, delay)
+		bsp.End()
+		if err != nil {
+			tr.Finish(0, "")
 			return nil, fmt.Errorf("client: interrupted after %d attempt(s): %w (last failure: %v)", attempt, err, lastErr)
 		}
 	}
@@ -411,28 +450,34 @@ func errText(err error, status int) string {
 
 // attempt performs one POST under the per-attempt timeout. status is the
 // HTTP status when one was received (even on failure); ra is the parsed
-// Retry-After.
-func (c *Client) attempt(ctx context.Context, url string, body []byte) (resp *Response, status int, ra time.Duration, err error) {
+// Retry-After; echo is the server's X-Schedd-Trace response header (the
+// server-side trace this attempt caused), when one arrived. traceID, when
+// non-empty, propagates the client's trace to the server.
+func (c *Client) attempt(ctx context.Context, url string, body []byte, traceID string) (resp *Response, status int, ra time.Duration, echo string, err error) {
 	actx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, "", err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(traceHeader, traceID)
+	}
 	hr, err := c.hc.Do(req)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, 0, 0, "", err
 	}
 	defer hr.Body.Close()
+	echo = hr.Header.Get(traceHeader)
 	b, err := io.ReadAll(hr.Body)
 	if err != nil {
 		// Truncated or severed mid-body: a partial body must never be
 		// surfaced as a Response.
-		return nil, 0, 0, fmt.Errorf("client: reading body: %w", err)
+		return nil, 0, 0, echo, fmt.Errorf("client: reading body: %w", err)
 	}
 	if hr.StatusCode < 200 || hr.StatusCode > 299 {
-		return nil, hr.StatusCode, retryAfter(hr), &StatusError{Status: hr.StatusCode, Body: b}
+		return nil, hr.StatusCode, retryAfter(hr), echo, &StatusError{Status: hr.StatusCode, Body: b}
 	}
-	return &Response{Status: hr.StatusCode, Body: b, Cache: hr.Header.Get("X-Schedd-Cache")}, hr.StatusCode, 0, nil
+	return &Response{Status: hr.StatusCode, Body: b, Cache: hr.Header.Get("X-Schedd-Cache")}, hr.StatusCode, 0, echo, nil
 }

@@ -114,25 +114,39 @@ func (m *Metrics) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the named histogram, creating it with bins bins over
-// [lo, hi) on first use; later calls return the existing histogram and
-// ignore the bounds. It panics on invalid bounds (a programmer error, as in
+// [lo, hi) on first use. Re-registration must repeat the original bounds:
+// conflicting (lo, hi, bins) panic, because silently keeping the first
+// bounds would make a typo'd call site record into quietly-wrong buckets.
+// It also panics on invalid bounds (a programmer error, as in
 // stats.NewHistogram).
 func (m *Metrics) Histogram(name string, lo, hi float64, bins int) *Histogram {
 	m.mu.RLock()
 	h, ok := m.histograms[name]
 	m.mu.RUnlock()
 	if ok {
-		return h
+		return h.checkBounds(name, lo, hi, bins)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if h, ok = m.histograms[name]; !ok {
-		sh, err := stats.NewHistogram(lo, hi, bins)
-		if err != nil {
-			panic("obs: " + err.Error())
-		}
-		h = &Histogram{h: sh}
-		m.histograms[name] = h
+	if h, ok = m.histograms[name]; ok {
+		return h.checkBounds(name, lo, hi, bins)
+	}
+	sh, err := stats.NewHistogram(lo, hi, bins)
+	if err != nil {
+		panic("obs: " + err.Error())
+	}
+	h = &Histogram{h: sh}
+	m.histograms[name] = h
+	return h
+}
+
+// checkBounds verifies a re-registration repeats the histogram's original
+// bounds. Lo, Hi and the bucket count are immutable after creation, so
+// reading them without the histogram mutex is safe.
+func (h *Histogram) checkBounds(name string, lo, hi float64, bins int) *Histogram {
+	if h.h.Lo != lo || h.h.Hi != hi || len(h.h.Counts) != bins {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with bounds [%g,%g)/%d, want original [%g,%g)/%d",
+			name, lo, hi, bins, h.h.Lo, h.h.Hi, len(h.h.Counts)))
 	}
 	return h
 }
@@ -158,6 +172,40 @@ type HistogramValue struct {
 	Under  int     `json:"under"`
 	Over   int     `json:"over"`
 	Total  int     `json:"total"`
+}
+
+// Quantile returns the approximate q-quantile (q in [0, 1]) of a snapshot
+// histogram by linear interpolation inside the selected bucket.
+// Observations in the Under bucket resolve to Lo, Over to Hi; a histogram
+// with no observations returns 0. The approximation is bounded by one
+// bucket width — good enough for /statusz-style summaries.
+func (h HistogramValue) Quantile(q float64) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Total-1)
+	seen := float64(h.Under)
+	if rank < seen {
+		return h.Lo
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if rank < seen+float64(c) {
+			frac := (rank - seen + 0.5) / float64(c)
+			return h.Lo + (float64(i)+frac)*width
+		}
+		seen += float64(c)
+	}
+	return h.Hi
 }
 
 // Snapshot is a point-in-time copy of a registry, with every section sorted

@@ -35,7 +35,7 @@ func TestCounterGaugeBasics(t *testing.T) {
 func TestHistogramRegistry(t *testing.T) {
 	m := NewMetrics()
 	h := m.Histogram("h", 0, 10, 5)
-	if m.Histogram("h", 0, 99, 2) != h {
+	if m.Histogram("h", 0, 10, 5) != h {
 		t.Fatal("Histogram did not return the existing handle")
 	}
 	h.Observe(-1)
@@ -54,6 +54,154 @@ func TestHistogramRegistry(t *testing.T) {
 		}
 	}()
 	m.Histogram("bad", 5, 5, 3)
+}
+
+// TestHistogramConflictingBoundsPanic pins the re-registration contract: a
+// histogram name is bound to its first (lo, hi, bins); repeating them is
+// fine, changing any of them is a programmer error that must fail loudly —
+// silently keeping the first bounds would let a typo produce quietly-wrong
+// bucketing.
+func TestHistogramConflictingBoundsPanic(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		lo, hi        float64
+		bins          int
+		wantSubstring string
+	}{
+		{"lo", 1, 10, 5, "re-registered"},
+		{"hi", 0, 99, 5, "re-registered"},
+		{"bins", 0, 10, 2, "re-registered"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMetrics()
+			m.Histogram("h", 0, 10, 5)
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatal("conflicting bounds did not panic")
+				}
+				if msg, ok := v.(string); !ok || !strings.Contains(msg, tc.wantSubstring) {
+					t.Fatalf("panic %v does not mention %q", v, tc.wantSubstring)
+				}
+			}()
+			m.Histogram("h", tc.lo, tc.hi, tc.bins)
+		})
+	}
+}
+
+// TestConcurrentHistogramCreationAndSnapshot races first-use creation of
+// many histogram names against Snapshot; run under -race this guards the
+// registry's double-checked locking and the per-histogram deep copy.
+func TestConcurrentHistogramCreationAndSnapshot(t *testing.T) {
+	m := NewMetrics()
+	const workers, names = 8, 32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < names; i++ {
+				h := m.Histogram(string(rune('a'+i%26))+".lat", 0, 100, 10)
+				h.Observe(float64(i))
+				_ = m.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if len(s.Histograms) != 26 {
+		t.Fatalf("%d histograms, want 26", len(s.Histograms))
+	}
+	total := 0
+	for _, h := range s.Histograms {
+		total += h.Total
+	}
+	if total != workers*names {
+		t.Fatalf("total observations %d, want %d", total, workers*names)
+	}
+}
+
+// TestHistogramRenderings pins the two /metricz renderings of a histogram
+// against each other: the text form must carry the same under/over counts
+// and bucket contents as the JSON snapshot, and both must list histograms
+// in sorted name order.
+func TestHistogramRenderings(t *testing.T) {
+	m := NewMetrics()
+	hb := m.Histogram("b.lat", 0, 10, 5)
+	ha := m.Histogram("a.lat", 0, 10, 5)
+	for _, x := range []float64{-5, 1, 3, 3, 11, 12} {
+		ha.Observe(x)
+	}
+	hb.Observe(5)
+	s := m.Snapshot()
+
+	if len(s.Histograms) != 2 || s.Histograms[0].Name != "a.lat" || s.Histograms[1].Name != "b.lat" {
+		t.Fatalf("histograms not sorted by name: %+v", s.Histograms)
+	}
+	a := s.Histograms[0]
+	if a.Under != 1 || a.Over != 2 || a.Total != 6 {
+		t.Fatalf("a.lat snapshot = %+v, want under=1 over=2 total=6", a)
+	}
+	if !reflect.DeepEqual(a.Counts, []int{1, 2, 0, 0, 0}) {
+		t.Fatalf("a.lat counts = %v", a.Counts)
+	}
+
+	text := s.Text()
+	ia, ib := strings.Index(text, "a.lat"), strings.Index(text, "b.lat")
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("text rendering not in sorted order:\n%s", text)
+	}
+	if !strings.Contains(text, "histogram a.lat") ||
+		!strings.Contains(text, "n=6 under=1 over=2 range=[0,10) counts=[1 2 0 0 0]") {
+		t.Fatalf("text rendering missing a.lat line:\n%s", text)
+	}
+
+	body, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(body, &round); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(round.Histograms, s.Histograms) {
+		t.Fatalf("JSON round trip changed histograms:\n%+v\n%+v", round.Histograms, s.Histograms)
+	}
+}
+
+// TestHistogramValueQuantile checks the bucket-interpolated quantiles used
+// by /statusz: exact enough to land in the right bucket, with under/over
+// clamping to the bounds.
+func TestHistogramValueQuantile(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("q", 0, 100, 10)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	hv := m.Snapshot().Histograms[0]
+	for _, tc := range []struct{ q, lo, hi float64 }{
+		{0.5, 40, 60},
+		{0.9, 80, 100},
+		{0, 0, 10},
+		{1, 90, 100},
+	} {
+		got := hv.Quantile(tc.q)
+		if got < tc.lo || got > tc.hi {
+			t.Fatalf("Quantile(%g) = %g, want in [%g, %g]", tc.q, got, tc.lo, tc.hi)
+		}
+	}
+	var empty HistogramValue
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+	under := m.Histogram("u", 0, 10, 2)
+	under.Observe(-1)
+	under.Observe(-2)
+	for _, hv := range m.Snapshot().Histograms {
+		if hv.Name == "u" && hv.Quantile(0.5) != 0 {
+			t.Fatalf("all-under histogram quantile = %g, want Lo", hv.Quantile(0.5))
+		}
+	}
 }
 
 func TestMetricsConcurrency(t *testing.T) {

@@ -111,6 +111,10 @@ type RequestDone struct {
 	// Tasks and Machines give the request's workload shape.
 	Tasks    int `json:"tasks,omitempty"`
 	Machines int `json:"machines,omitempty"`
+	// TraceID joins this access-log record to the request's span tree (and
+	// to the X-Schedd-Trace header the client saw); empty when tracing is
+	// disabled.
+	TraceID string `json:"trace_id,omitempty"`
 	// ElapsedNS is the request's wall-clock service time. Observational
 	// only — it never influences the content of any response.
 	ElapsedNS int64 `json:"elapsed_ns"`

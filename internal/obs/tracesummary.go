@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Span-stream analysis: the library behind cmd/schedtrace, the schedd
+// selfcheck's trace leg and the chaos harness's span-conservation
+// invariant. Everything here is deterministic in the span stream itself:
+// stages render in sorted name order, structural verdicts depend only on
+// IDs and parent links, and wall-clock durations appear only in the
+// optional quantile columns.
+
+// StageStat summarizes one span name across a stream.
+type StageStat struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+	// Unfinished counts spans force-closed at trace finish.
+	Unfinished int `json:"unfinished,omitempty"`
+	// P50, P90, P99 and Max are duration quantiles in milliseconds —
+	// wall-clock, observational only.
+	P50 float64 `json:"p50_ms"`
+	P90 float64 `json:"p90_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// TraceSummary is the analysis of a span stream.
+type TraceSummary struct {
+	Traces int `json:"traces"`
+	Roots  int `json:"roots"`
+	Spans  int `json:"spans"`
+	// Malformed lists structural violations (capped at 16): a trace with
+	// zero or several roots, an orphaned parent link, a negative duration,
+	// or a stage extending past its root.
+	Malformed []string    `json:"malformed,omitempty"`
+	Stages    []StageStat `json:"stages"`
+}
+
+// WellFormed reports whether the stream had no structural violations.
+func (s *TraceSummary) WellFormed() bool { return len(s.Malformed) == 0 }
+
+// ReadSpans decodes a JSONL stream, returning the span events and ignoring
+// every other line (access logs and traces may share a sink file).
+func ReadSpans(r io.Reader) ([]Span, error) {
+	var spans []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var probe struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			return nil, fmt.Errorf("obs: unparseable JSONL line: %w", err)
+		}
+		if probe.Event != "span" {
+			continue
+		}
+		var sp Span
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			return nil, fmt.Errorf("obs: decoding span line: %w", err)
+		}
+		spans = append(spans, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}
+
+// SummarizeSpans analyzes a span stream: per-stage counts and duration
+// quantiles, plus structural verification of every trace's span tree.
+func SummarizeSpans(spans []Span) *TraceSummary {
+	s := &TraceSummary{Spans: len(spans)}
+	malformed := func(format string, args ...any) {
+		if len(s.Malformed) < 16 {
+			s.Malformed = append(s.Malformed, fmt.Sprintf(format, args...))
+		}
+	}
+
+	type traceState struct {
+		roots   int
+		rootDur int64
+		spans   []Span
+	}
+	byTrace := map[string]*traceState{}
+	order := []string{} // deterministic iteration: first-seen order
+	durations := map[string][]float64{}
+	unfinished := map[string]int{}
+	for _, sp := range spans {
+		st, ok := byTrace[sp.TraceID]
+		if !ok {
+			st = &traceState{}
+			byTrace[sp.TraceID] = st
+			order = append(order, sp.TraceID)
+		}
+		st.spans = append(st.spans, sp)
+		if sp.ParentID == 0 {
+			st.roots++
+			st.rootDur = sp.DurationNS
+			s.Roots++
+		}
+		durations[sp.Name] = append(durations[sp.Name], float64(sp.DurationNS)/1e6)
+		if sp.Unfinished {
+			unfinished[sp.Name]++
+		}
+		if sp.DurationNS < 0 || sp.StartNS < 0 {
+			malformed("trace %s span %d (%s): negative timing", sp.TraceID, sp.SpanID, sp.Name)
+		}
+	}
+	s.Traces = len(byTrace)
+
+	for _, id := range order {
+		st := byTrace[id]
+		if st.roots != 1 {
+			malformed("trace %s has %d root spans, want exactly 1", id, st.roots)
+			continue
+		}
+		ids := map[int]bool{}
+		for _, sp := range st.spans {
+			if ids[sp.SpanID] {
+				malformed("trace %s reuses span id %d", id, sp.SpanID)
+			}
+			ids[sp.SpanID] = true
+		}
+		for _, sp := range st.spans {
+			if sp.ParentID == 0 {
+				continue
+			}
+			if !ids[sp.ParentID] {
+				malformed("trace %s span %d (%s): parent %d not in trace", id, sp.SpanID, sp.Name, sp.ParentID)
+			}
+			if sp.StartNS+sp.DurationNS > st.rootDur {
+				malformed("trace %s span %d (%s): extends past its root", id, sp.SpanID, sp.Name)
+			}
+		}
+	}
+
+	names := make([]string, 0, len(durations))
+	for name := range durations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		qs, err := stats.Quantiles(durations[name], 0.5, 0.9, 0.99, 1)
+		if err != nil {
+			continue // unreachable: every name has at least one sample
+		}
+		s.Stages = append(s.Stages, StageStat{
+			Name: name, Count: len(durations[name]), Unfinished: unfinished[name],
+			P50: qs[0], P90: qs[1], P99: qs[2], Max: qs[3],
+		})
+	}
+	return s
+}
+
+// Render writes the summary as a fixed-width table. With durations=false
+// the wall-clock quantile columns are omitted, leaving only fields that
+// are deterministic in the request stream — the form golden files pin.
+func (s *TraceSummary) Render(w io.Writer, durations bool) {
+	fmt.Fprintf(w, "traces %d  roots %d  spans %d  malformed %d\n",
+		s.Traces, s.Roots, s.Spans, len(s.Malformed))
+	for _, m := range s.Malformed {
+		fmt.Fprintf(w, "MALFORMED: %s\n", m)
+	}
+	if durations {
+		fmt.Fprintf(w, "%-16s %8s %10s %10s %10s %10s\n", "stage", "count", "p50_ms", "p90_ms", "p99_ms", "max_ms")
+	} else {
+		fmt.Fprintf(w, "%-16s %8s\n", "stage", "count")
+	}
+	for _, st := range s.Stages {
+		name := st.Name
+		if st.Unfinished > 0 {
+			name += fmt.Sprintf(" (%d unfinished)", st.Unfinished)
+		}
+		if durations {
+			fmt.Fprintf(w, "%-16s %8d %10.3f %10.3f %10.3f %10.3f\n", name, st.Count, st.P50, st.P90, st.P99, st.Max)
+		} else {
+			fmt.Fprintf(w, "%-16s %8d\n", name, st.Count)
+		}
+	}
+}

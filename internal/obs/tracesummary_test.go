@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// collectSpans runs a few traces through a tracer and returns the emitted
+// spans in order.
+func collectSpans(t *testing.T) []Span {
+	t.Helper()
+	col := &Collector{}
+	tracer := NewTracer(col)
+	for i, key := range []string{"a", "b", "c"} {
+		tr := tracer.StartTrace("serve")
+		tr.SetKey(key)
+		tr.Start("decode").End()
+		if i > 0 {
+			tr.Start("compute").End()
+		}
+		tr.Finish(200, "miss")
+	}
+	var spans []Span
+	for _, e := range col.Events() {
+		spans = append(spans, e.(Span))
+	}
+	return spans
+}
+
+func TestSummarizeSpansWellFormed(t *testing.T) {
+	spans := collectSpans(t)
+	s := SummarizeSpans(spans)
+	if !s.WellFormed() {
+		t.Fatalf("real tracer output judged malformed: %v", s.Malformed)
+	}
+	if s.Traces != 3 || s.Roots != 3 || s.Spans != 8 {
+		t.Fatalf("summary header = %d/%d/%d, want 3/3/8", s.Traces, s.Roots, s.Spans)
+	}
+	// Stages sort by name: compute, decode, serve.
+	var names []string
+	for _, st := range s.Stages {
+		names = append(names, st.Name)
+	}
+	if strings.Join(names, ",") != "compute,decode,serve" {
+		t.Fatalf("stages not sorted: %v", names)
+	}
+	if s.Stages[0].Count != 2 || s.Stages[1].Count != 3 || s.Stages[2].Count != 3 {
+		t.Fatalf("stage counts wrong: %+v", s.Stages)
+	}
+
+	var buf bytes.Buffer
+	s.Render(&buf, false)
+	out := buf.String()
+	if !strings.Contains(out, "traces 3  roots 3  spans 8  malformed 0") {
+		t.Fatalf("render header wrong:\n%s", out)
+	}
+	if strings.Contains(out, "p50_ms") {
+		t.Fatalf("counts-only render leaked duration columns:\n%s", out)
+	}
+	var withDur bytes.Buffer
+	s.Render(&withDur, true)
+	if !strings.Contains(withDur.String(), "p50_ms") {
+		t.Fatalf("duration render missing quantile columns:\n%s", withDur.String())
+	}
+}
+
+func TestSummarizeSpansMalformed(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		spans []Span
+		want  string
+	}{
+		{
+			"no root",
+			[]Span{{TraceID: "t", SpanID: 2, ParentID: 1, Name: "decode"}},
+			"root spans",
+		},
+		{
+			"two roots",
+			[]Span{
+				{TraceID: "t", SpanID: 1, Name: "serve"},
+				{TraceID: "t", SpanID: 2, Name: "serve"},
+			},
+			"root spans",
+		},
+		{
+			"duplicate span id",
+			[]Span{
+				{TraceID: "t", SpanID: 1, Name: "serve"},
+				{TraceID: "t", SpanID: 2, ParentID: 1, Name: "decode"},
+				{TraceID: "t", SpanID: 2, ParentID: 1, Name: "compute"},
+			},
+			"reuses span id",
+		},
+		{
+			"orphan parent",
+			[]Span{
+				{TraceID: "t", SpanID: 1, Name: "serve"},
+				{TraceID: "t", SpanID: 2, ParentID: 9, Name: "decode"},
+			},
+			"parent 9 not in trace",
+		},
+		{
+			"negative duration",
+			[]Span{{TraceID: "t", SpanID: 1, Name: "serve", DurationNS: -1}},
+			"negative timing",
+		},
+		{
+			"stage past root",
+			[]Span{
+				{TraceID: "t", SpanID: 1, Name: "serve", DurationNS: 10},
+				{TraceID: "t", SpanID: 2, ParentID: 1, Name: "decode", StartNS: 5, DurationNS: 20},
+			},
+			"extends past its root",
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := SummarizeSpans(tc.spans)
+			if s.WellFormed() {
+				t.Fatal("malformed stream judged well-formed")
+			}
+			found := false
+			for _, m := range s.Malformed {
+				if strings.Contains(m, tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("no verdict mentions %q: %v", tc.want, s.Malformed)
+			}
+		})
+	}
+}
+
+func TestReadSpans(t *testing.T) {
+	jsonl := `{"event":"request_done","endpoint":"/v1/iterate","status":200,"elapsed_ns":1}
+{"event":"span","trace_id":"t","span_id":1,"name":"serve","start_ns":0,"duration_ns":5}
+
+{"event":"span","trace_id":"t","span_id":2,"parent_id":1,"name":"decode","start_ns":1,"duration_ns":2}
+`
+	spans, err := ReadSpans(strings.NewReader(jsonl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("%d spans, want 2 (non-span lines skipped)", len(spans))
+	}
+	if spans[0].Name != "serve" || spans[1].ParentID != 1 {
+		t.Fatalf("decoded spans wrong: %+v", spans)
+	}
+	if _, err := ReadSpans(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("unparseable line did not error")
+	}
+}

@@ -255,21 +255,27 @@ func validateRequest(rq Request) (ties string, fields []FieldError, total int) {
 	return ties, fields, total
 }
 
-// parseRequest decodes and validates a request body. Unknown fields are
-// rejected so a typo'd parameter can never silently change the cache key.
-// Failures are tiered: malformed JSON is 400, admission-guard refusals are
-// 413, and semantically invalid fields are one 422 carrying every
-// field-level message (up to maxFieldErrors).
-func parseRequest(ep endpoint, body []byte, lim limits) (*parsedRequest, *apiError) {
+// decodeRequest decodes a request body. Unknown fields are rejected so a
+// typo'd parameter can never silently change the cache key. It is the
+// handler's "decode" stage; malformed JSON is 400.
+func decodeRequest(body []byte) (Request, *apiError) {
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	var rq Request
 	if err := dec.Decode(&rq); err != nil {
-		return nil, badRequest("decoding request: %v", err)
+		return Request{}, badRequest("decoding request: %v", err)
 	}
 	if dec.More() {
-		return nil, badRequest("request body has trailing data")
+		return Request{}, badRequest("request body has trailing data")
 	}
+	return rq, nil
+}
+
+// admitRequest runs the admission guards and semantic validation on a
+// decoded request — the handler's "validate" stage. Failures are tiered:
+// admission-guard refusals are 413, and semantically invalid fields are one
+// 422 carrying every field-level message (up to maxFieldErrors).
+func admitRequest(ep endpoint, rq Request, lim limits) (*parsedRequest, *apiError) {
 	// Admission guards run before the per-cell walk: counting rows is cheap,
 	// and an over-cap request must cost the server as little as possible.
 	var cells int64
@@ -371,6 +377,17 @@ func (p *parsedRequest) policy() core.PolicyFunc {
 // compute runs the request and returns the marshaled response body. It is
 // fully deterministic in the request: no wall-clock, no shared state.
 func (p *parsedRequest) compute() ([]byte, *apiError) {
+	v, aerr := p.run()
+	if aerr != nil {
+		return nil, aerr
+	}
+	return marshalResponse(v)
+}
+
+// run executes the request's heuristic or iterative run and returns the
+// unmarshaled response value — the worker's "compute" stage, separated from
+// "marshal" so traces can attribute their costs independently.
+func (p *parsedRequest) run() (any, *apiError) {
 	h, err := heuristics.ByName(p.req.Heuristic, p.req.Seed)
 	if err != nil {
 		return nil, badRequest("%v", err) // unreachable: validated at parse
@@ -388,7 +405,7 @@ func (p *parsedRequest) compute() ([]byte, *apiError) {
 		if err != nil {
 			return nil, internalError("%v", err)
 		}
-		return marshalResponse(MapResponse{
+		return MapResponse{
 			Heuristic:  p.req.Heuristic,
 			Ties:       p.ties,
 			Seed:       p.req.Seed,
@@ -397,7 +414,7 @@ func (p *parsedRequest) compute() ([]byte, *apiError) {
 			Assign:     s.Mapping.Assign,
 			Completion: s.Completion,
 			Makespan:   s.Makespan(),
-		})
+		}, nil
 	case endpointIterate:
 		tr, err := core.Iterate(p.in, h, p.policy())
 		if err != nil {
@@ -434,7 +451,7 @@ func (p *parsedRequest) compute() ([]byte, *apiError) {
 		for _, o := range tr.MachineOutcomes() {
 			resp.Outcomes = append(resp.Outcomes, o.String())
 		}
-		return marshalResponse(resp)
+		return resp, nil
 	default:
 		return nil, internalError("unknown endpoint %q", p.endpoint)
 	}

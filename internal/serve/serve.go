@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,6 +84,14 @@ type Options struct {
 	// scheduling request — the service's access log. It must be safe for
 	// concurrent use (the obs sinks are).
 	Observer obs.Observer
+	// Tracer, when non-nil, opens one deterministic trace per scheduling
+	// request: a root span plus stage spans (decode, validate, cache_lookup,
+	// queue_wait, coalesce_wait, compute, marshal, write) emitted to the
+	// tracer's sink at request end. The trace ID is echoed in the
+	// X-Schedd-Trace response header — never in the body, so cache hits stay
+	// byte-identical. A nil Tracer costs nothing (no span objects, no clock
+	// reads).
+	Tracer *obs.Tracer
 }
 
 // Server is the scheduling service: an http.Handler plus the worker pool
@@ -139,6 +148,12 @@ type job struct {
 	ctx  context.Context
 	p    *parsedRequest
 	done chan jobResult // buffered: workers never block on abandoned requests
+	// tr is the request's trace (nil when tracing is off); qspan its
+	// queue_wait stage, started at enqueue and ended by the worker at
+	// dequeue. If the handler abandons the job, its trace finishes first and
+	// the worker's span calls become no-ops.
+	tr    *obs.Trace
+	qspan *obs.SpanHandle
 }
 
 type jobResult struct {
@@ -221,6 +236,7 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc(string(endpointIterate), s.handleSchedule(endpointIterate))
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metricz", s.handleMetricz)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
 	s.workers.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go s.worker()
@@ -229,7 +245,7 @@ func NewServer(opts Options) *Server {
 }
 
 // Handler returns the service's HTTP handler: POST /v1/map, POST
-// /v1/iterate, GET /healthz, GET /metricz.
+// /v1/iterate, GET /healthz, GET /metricz, GET /statusz.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics returns the server's metrics registry.
@@ -296,6 +312,7 @@ func (s *Server) worker() {
 		if s.testHookDequeued != nil {
 			s.testHookDequeued(j)
 		}
+		j.qspan.End()
 		if j.ctx.Err() != nil {
 			j.done <- jobResult{err: timeoutError()}
 			continue
@@ -316,13 +333,29 @@ func (s *Server) worker() {
 func (s *Server) computeJob(j *job) (body []byte, aerr *apiError) {
 	defer func() {
 		if v := recover(); v != nil {
+			// The compute (or marshal) span is still open; the handler's
+			// Finish force-closes it as Unfinished, which is how a panicking
+			// request still yields a complete span tree.
 			body, aerr = nil, s.recoverPanic(j.p.endpoint, v)
 		}
 	}()
+	sp := j.tr.Start("compute")
 	if s.opts.PanicTrigger != nil {
+		// Inside the compute span, where a real heuristic or engine panic
+		// would land.
 		s.opts.PanicTrigger(j.p.req.Seed)
 	}
-	return j.p.compute()
+	v, aerr := j.p.run()
+	if aerr != nil {
+		sp.SetErr(aerr.code)
+		sp.End()
+		return nil, aerr
+	}
+	sp.End()
+	sp = j.tr.Start("marshal")
+	body, aerr = marshalResponse(v)
+	sp.End()
+	return body, aerr
 }
 
 // recoverPanic converts a recovered request-path panic into the service's
@@ -379,6 +412,16 @@ func (s *Server) resolveFlight(key string, f *flight, body []byte, err *apiError
 func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now() // observational only: latency metrics and events
+		// One trace per arrival (nil when tracing is off — every tr and span
+		// method below is then a free no-op). The inbound propagation header
+		// joins this trace to the caller's.
+		tr := s.opts.Tracer.StartTrace("serve")
+		if tr != nil {
+			tr.SetEndpoint(string(ep))
+			if remote := r.Header.Get(TraceHeader); remote != "" {
+				tr.SetRemote(remote)
+			}
+		}
 		// Handler-level panic isolation: the worker path has its own recover
 		// (computeJob), so anything caught here is a bug in parsing or
 		// response writing. The connection-killing sentinel is re-raised for
@@ -390,24 +433,25 @@ func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 					panic(v)
 				}
 				aerr := s.recoverPanic(ep, v)
-				s.writeError(w, aerr)
-				s.observe(ep, aerr.status, "", nil, start)
+				s.writeError(w, aerr, tr)
+				s.observe(ep, aerr.status, "", nil, start, tr)
 			}
 		}()
 		// Every arrival counts, whatever its outcome: rejected methods,
 		// draining refusals and shed requests all show up in requests_total.
 		s.mRequests.Inc()
 		if r.Method != http.MethodPost {
-			s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: CodeMethodNotAllowed, msg: "use POST", allow: http.MethodPost})
-			s.observe(ep, http.StatusMethodNotAllowed, "", nil, start)
+			s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: CodeMethodNotAllowed, msg: "use POST", allow: http.MethodPost}, tr)
+			s.observe(ep, http.StatusMethodNotAllowed, "", nil, start, tr)
 			return
 		}
 		if !s.beginRequest() {
-			s.writeError(w, &apiError{status: http.StatusServiceUnavailable, code: CodeDraining, msg: "draining"})
-			s.observe(ep, http.StatusServiceUnavailable, "", nil, start)
+			s.writeError(w, &apiError{status: http.StatusServiceUnavailable, code: CodeDraining, msg: "draining"}, tr)
+			s.observe(ep, http.StatusServiceUnavailable, "", nil, start, tr)
 			return
 		}
 		defer s.endRequest()
+		sp := tr.Start("decode")
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 		if err != nil {
 			aerr := badRequest("reading body: %v", err)
@@ -419,21 +463,47 @@ func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 					msg:    fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
 				}
 			}
-			s.writeError(w, aerr)
-			s.observe(ep, aerr.status, "", nil, start)
+			sp.SetErr(aerr.code)
+			sp.End()
+			s.writeError(w, aerr, tr)
+			s.observe(ep, aerr.status, "", nil, start, tr)
 			return
 		}
-		p, aerr := parseRequest(ep, body, s.lim)
+		rq, aerr := decodeRequest(body)
 		if aerr != nil {
-			s.writeError(w, aerr)
-			s.observe(ep, aerr.status, "", nil, start)
+			sp.SetErr(aerr.code)
+			sp.End()
+			s.writeError(w, aerr, tr)
+			s.observe(ep, aerr.status, "", nil, start, tr)
 			return
 		}
+		sp.End()
+		sp = tr.Start("validate")
+		p, aerr := admitRequest(ep, rq, s.lim)
+		if aerr != nil {
+			sp.SetErr(aerr.code)
+			sp.End()
+			s.writeError(w, aerr, tr)
+			s.observe(ep, aerr.status, "", nil, start, tr)
+			return
+		}
+		sp.End()
+		// The canonical key exists now; fold it into the trace identity so
+		// the ID is deterministic in the request content.
+		tr.SetKey(p.key)
 		if s.cache != nil {
-			if cached, ok := s.cache.get(p.key); ok {
+			sp = tr.Start("cache_lookup")
+			cached, ok := s.cache.get(p.key)
+			if ok {
+				sp.SetCache("hit")
+			} else {
+				sp.SetCache("miss")
+			}
+			sp.End()
+			if ok {
 				s.mHits.Inc()
-				s.writeBody(w, cached, "hit")
-				s.observe(ep, http.StatusOK, "hit", p, start)
+				s.writeBody(w, cached, "hit", tr)
+				s.observe(ep, http.StatusOK, "hit", p, start, tr)
 				return
 			}
 		}
@@ -449,37 +519,44 @@ func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 			// A concurrent identical request is already computing: wait for
 			// its bytes instead of queueing a duplicate job.
 			s.mCoalesced.Inc()
+			sp = tr.Start("coalesce_wait")
 			select {
 			case <-f.done:
+				sp.End()
 				if f.err != nil {
 					if f.err.status == http.StatusGatewayTimeout {
 						s.mTimeouts.Inc()
 					}
-					s.writeError(w, f.err)
-					s.observe(ep, f.err.status, "coalesced", p, start)
+					s.writeError(w, f.err, tr)
+					s.observe(ep, f.err.status, "coalesced", p, start, tr)
 					return
 				}
-				s.writeBody(w, f.body, "coalesced")
-				s.observe(ep, http.StatusOK, "coalesced", p, start)
+				s.writeBody(w, f.body, "coalesced", tr)
+				s.observe(ep, http.StatusOK, "coalesced", p, start, tr)
 			case <-ctx.Done():
+				sp.SetErr(CodeDeadlineExceeded)
+				sp.End()
 				s.mTimeouts.Inc()
-				s.writeError(w, timeoutError())
-				s.observe(ep, http.StatusGatewayTimeout, "", p, start)
+				s.writeError(w, timeoutError(), tr)
+				s.observe(ep, http.StatusGatewayTimeout, "", p, start, tr)
 			}
 			return
 		}
 		s.mMisses.Inc()
-		j := &job{ctx: ctx, p: p, done: make(chan jobResult, 1)}
+		j := &job{ctx: ctx, p: p, done: make(chan jobResult, 1), tr: tr}
+		j.qspan = tr.Start("queue_wait")
 		s.gQueue.Set(float64(s.queued.Add(1)))
 		select {
 		case s.queue <- j:
 		default:
 			s.gQueue.Set(float64(s.queued.Add(-1)))
 			s.mShed.Inc()
+			j.qspan.SetErr(CodeOverloaded)
+			j.qspan.End()
 			aerr := &apiError{status: http.StatusTooManyRequests, code: CodeOverloaded, msg: "queue full", retryAfterSec: 1}
 			s.resolveFlight(p.key, f, nil, aerr)
-			s.writeError(w, aerr)
-			s.observe(ep, http.StatusTooManyRequests, "", p, start)
+			s.writeError(w, aerr, tr)
+			s.observe(ep, http.StatusTooManyRequests, "", p, start, tr)
 			return
 		}
 		select {
@@ -489,22 +566,24 @@ func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 				if res.err.status == http.StatusGatewayTimeout {
 					s.mTimeouts.Inc()
 				}
-				s.writeError(w, res.err)
-				s.observe(ep, res.err.status, "", p, start)
+				s.writeError(w, res.err, tr)
+				s.observe(ep, res.err.status, "", p, start, tr)
 				return
 			}
-			s.writeBody(w, res.body, "miss")
-			s.observe(ep, http.StatusOK, "miss", p, start)
+			s.writeBody(w, res.body, "miss", tr)
+			s.observe(ep, http.StatusOK, "miss", p, start, tr)
 		case <-ctx.Done():
 			// The job stays queued; a worker will discard it. Its response
 			// was never produced, so determinism is untouched. Followers see
 			// the same timeout (their own deadlines are no longer than the
-			// work they were waiting on).
+			// work they were waiting on). Any span the job still holds open
+			// (queue_wait, or compute in a worker that outlives us) is
+			// force-closed as Unfinished by observe's Finish.
 			s.mTimeouts.Inc()
 			aerr := timeoutError()
 			s.resolveFlight(p.key, f, nil, aerr)
-			s.writeError(w, aerr)
-			s.observe(ep, http.StatusGatewayTimeout, "", p, start)
+			s.writeError(w, aerr, tr)
+			s.observe(ep, http.StatusGatewayTimeout, "", p, start, tr)
 		}
 	}
 }
@@ -521,7 +600,7 @@ type healthState struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: CodeMethodNotAllowed, msg: "use GET", allow: http.MethodGet})
+		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: CodeMethodNotAllowed, msg: "use GET", allow: http.MethodGet}, nil)
 		return
 	}
 	h := healthState{
@@ -549,7 +628,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // by default, the obs text rendering with ?format=text.
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: CodeMethodNotAllowed, msg: "use GET", allow: http.MethodGet})
+		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: CodeMethodNotAllowed, msg: "use GET", allow: http.MethodGet}, nil)
 		return
 	}
 	snap := s.reg.Snapshot()
@@ -560,27 +639,133 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := snap.JSON()
 	if err != nil {
-		s.writeError(w, internalError("%v", err))
+		s.writeError(w, internalError("%v", err), nil)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(append(body, '\n'))
 }
 
+// statusStage is one per-stage latency row in a /statusz body, derived from
+// the "<anything>.stage_<name>_ms" histograms a span-metrics observer
+// maintains. All values are wall-clock, observational only.
+type statusStage struct {
+	Name  string  `json:"name"`
+	Count int     `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// statusState is the /statusz body: an at-a-glance operational summary —
+// request/outcome counters, cache effectiveness, queue and inflight gauges
+// (plus any other gauges in the registry, e.g. a client breaker state when
+// the process shares one registry), request latency, and the per-stage
+// latency breakdown when tracing feeds a span-metrics observer.
+type statusState struct {
+	Status        string             `json:"status"` // "ok" or "draining"
+	RequestsTotal int64              `json:"requests_total"`
+	Responses2xx  int64              `json:"responses_2xx"`
+	Responses4xx  int64              `json:"responses_4xx"`
+	Responses5xx  int64              `json:"responses_5xx"`
+	CacheHits     int64              `json:"cache_hits"`
+	CacheMisses   int64              `json:"cache_misses"`
+	Coalesced     int64              `json:"coalesced"`
+	CacheHitRatio float64            `json:"cache_hit_ratio"`
+	Gauges        map[string]float64 `json:"gauges"`
+	LatencyMS     statusStage        `json:"latency_ms"`
+	Stages        []statusStage      `json:"stages,omitempty"`
+}
+
+// handleStatusz renders the operational summary. Quantiles come from
+// HistogramValue.Quantile over the registry snapshot, so the body is
+// deterministic in the metric values (maps marshal with sorted keys).
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, &apiError{status: http.StatusMethodNotAllowed, code: CodeMethodNotAllowed, msg: "use GET", allow: http.MethodGet}, nil)
+		return
+	}
+	snap := s.reg.Snapshot()
+	st := statusState{Status: "ok", Gauges: map[string]float64{}}
+	if s.Draining() {
+		st.Status = "draining"
+	}
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	st.RequestsTotal = counters["serve.requests_total"]
+	st.Responses2xx = counters["serve.responses_2xx"]
+	st.Responses4xx = counters["serve.responses_4xx"]
+	st.Responses5xx = counters["serve.responses_5xx"]
+	st.CacheHits = counters["serve.cache_hits"]
+	st.CacheMisses = counters["serve.cache_misses"]
+	st.Coalesced = counters["serve.coalesced_total"]
+	if looked := st.CacheHits + st.CacheMisses; looked > 0 {
+		st.CacheHitRatio = float64(st.CacheHits) / float64(looked)
+	}
+	for _, g := range snap.Gauges {
+		st.Gauges[g.Name] = g.Value
+	}
+	stageName := func(name string) string {
+		i := strings.Index(name, ".stage_")
+		if i < 0 || !strings.HasSuffix(name, "_ms") {
+			return ""
+		}
+		return name[i+len(".stage_") : len(name)-len("_ms")]
+	}
+	for _, h := range snap.Histograms {
+		row := statusStage{
+			Count: h.Total,
+			P50MS: h.Quantile(0.5),
+			P90MS: h.Quantile(0.9),
+			P99MS: h.Quantile(0.99),
+		}
+		if h.Name == "serve.latency_ms" {
+			row.Name = "request"
+			st.LatencyMS = row
+		} else if stage := stageName(h.Name); stage != "" {
+			row.Name = stage
+			st.Stages = append(st.Stages, row)
+		}
+	}
+	body, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		s.writeError(w, internalError("%v", err), nil)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
+
+// TraceHeader is the trace propagation header: clients send their trace ID
+// in it, and the server echoes the request's own trace ID back in it. IDs
+// travel only in headers and logs — never in response bodies, which must
+// stay byte-identical however the bytes were obtained.
+const TraceHeader = "X-Schedd-Trace"
+
 // writeBody writes a 200 scheduling response. cacheState ("hit", "miss" or
 // "coalesced") goes in the X-Schedd-Cache header: headers may differ by how
-// the bytes were obtained, bodies never do.
-func (s *Server) writeBody(w http.ResponseWriter, body []byte, cacheState string) {
+// the bytes were obtained, bodies never do. The write itself is the trace's
+// "write" stage.
+func (s *Server) writeBody(w http.ResponseWriter, body []byte, cacheState string, tr *obs.Trace) {
+	sp := tr.Start("write")
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Schedd-Cache", cacheState)
+	if id := tr.ID(); id != "" {
+		w.Header().Set(TraceHeader, id)
+	}
 	w.Write(body)
+	sp.End()
 }
 
 // writeError renders the uniform error envelope. Every non-2xx body the
 // service writes goes through here, so the shape — and the stable code — is
 // the same whether the failure was a bad method, a validation error, shed
-// load or a recovered panic.
-func (s *Server) writeError(w http.ResponseWriter, aerr *apiError) {
+// load or a recovered panic. tr may be nil (introspection endpoints); when
+// live, rejected requests get their trace ID echoed exactly like successes.
+func (s *Server) writeError(w http.ResponseWriter, aerr *apiError, tr *obs.Trace) {
+	sp := tr.Start("write")
 	if aerr.status >= http.StatusInternalServerError && aerr.status != http.StatusServiceUnavailable {
 		s.mErrors.Inc()
 	}
@@ -595,15 +780,22 @@ func (s *Server) writeError(w http.ResponseWriter, aerr *apiError) {
 		code = CodeInternal
 	}
 	w.Header().Set("Content-Type", "application/json")
+	if id := tr.ID(); id != "" {
+		w.Header().Set(TraceHeader, id)
+	}
 	w.WriteHeader(aerr.status)
 	body, _ := json.Marshal(ErrorResponse{Error: ErrorDetail{Code: code, Message: aerr.msg, Fields: aerr.fields}})
 	w.Write(append(body, '\n'))
+	sp.End()
 }
 
-// observe folds the request into the latency histogram and, when an
-// Observer is configured, emits the request_done access-log event. All
-// wall-clock readings stay on this observational path.
-func (s *Server) observe(ep endpoint, status int, cacheState string, p *parsedRequest, start time.Time) {
+// observe folds the request into the latency histogram, emits the
+// request_done access-log event when an Observer is configured, and
+// finishes the request's trace. All wall-clock readings stay on this
+// observational path. It runs exactly once per scheduling arrival — which
+// is what makes both the counter conservation invariant and the one-root-
+// span-per-request invariant hold.
+func (s *Server) observe(ep endpoint, status int, cacheState string, p *parsedRequest, start time.Time, tr *obs.Trace) {
 	// Outcome accounting first: observe runs exactly once per scheduling
 	// arrival, which is what makes requests_total == 2xx+4xx+5xx hold.
 	switch {
@@ -616,22 +808,23 @@ func (s *Server) observe(ep endpoint, status int, cacheState string, p *parsedRe
 	}
 	elapsed := time.Since(start)
 	s.hLatency.Observe(float64(elapsed) / float64(time.Millisecond))
-	if s.opts.Observer == nil {
-		return
+	if s.opts.Observer != nil {
+		ev := obs.RequestDone{
+			Endpoint:  string(ep),
+			Status:    status,
+			Cache:     cacheState,
+			TraceID:   tr.ID(),
+			ElapsedNS: elapsed.Nanoseconds(),
+		}
+		if p != nil {
+			ev.Heuristic = p.req.Heuristic
+			ev.Seed = p.req.Seed
+			ev.Tasks = p.in.Tasks()
+			ev.Machines = p.in.Machines()
+		}
+		s.opts.Observer.Observe(ev)
 	}
-	ev := obs.RequestDone{
-		Endpoint:  string(ep),
-		Status:    status,
-		Cache:     cacheState,
-		ElapsedNS: elapsed.Nanoseconds(),
-	}
-	if p != nil {
-		ev.Heuristic = p.req.Heuristic
-		ev.Seed = p.req.Seed
-		ev.Tasks = p.in.Tasks()
-		ev.Machines = p.in.Machines()
-	}
-	s.opts.Observer.Observe(ev)
+	tr.Finish(status, cacheState)
 }
 
 // String summarizes the server configuration for logs.

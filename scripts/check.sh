@@ -4,11 +4,14 @@
 #
 #   gofmt clean, go vet, build, full test suite, paper self-check, the
 #   schedd serving smoke (ephemeral port, pinned Table-1 trace, cache
-#   byte-identity, fault-injected recovery, panic isolation, chaos leg,
-#   graceful drain) and the schedchaos scenario sweep (every builtin phased
-#   fault scenario, every invariant). The -race leg covers internal/serve's
-#   concurrency tests plus the resilience layer (internal/faults,
-#   internal/client), the chaos harness and the daemons' end-to-end tests.
+#   byte-identity, span-tree trace leg, fault-injected recovery, panic
+#   isolation, chaos leg, graceful drain), the schedchaos scenario sweep
+#   (every builtin phased fault scenario, every invariant) and the tracing
+#   leg (schedd -trace-out span stream analyzed by schedtrace -counts,
+#   pinned against scripts/testdata/trace_counts.golden). The -race leg
+#   covers internal/serve's concurrency tests plus the resilience layer
+#   (internal/faults, internal/client), the chaos harness and the daemons'
+#   end-to-end tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,8 +38,18 @@ echo "[ok  ] go test -race (internal + cmd)"
 go run ./cmd/paperrepro
 echo "[ok  ] paperrepro"
 
-go run ./cmd/schedd -selfcheck >/dev/null
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/schedd -selfcheck -trace-out "$tmp/spans.jsonl" >/dev/null
 echo "[ok  ] schedd selfcheck"
+
+# The selfcheck's span stream is deterministic in everything but durations;
+# schedtrace -counts strips the wall-clock columns, so the remainder must
+# match the pinned golden byte for byte (and schedtrace itself exits
+# non-zero on any structural violation).
+go run ./cmd/schedtrace -counts "$tmp/spans.jsonl" >"$tmp/trace_counts.txt"
+diff -u scripts/testdata/trace_counts.golden "$tmp/trace_counts.txt"
+echo "[ok  ] schedd -trace-out span stream matches the schedtrace golden"
 
 go run ./cmd/schedchaos >/dev/null
 echo "[ok  ] schedchaos scenarios"
