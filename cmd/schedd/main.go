@@ -14,6 +14,7 @@
 //
 //	POST /v1/map      one heuristic run        (serve.Request -> serve.MapResponse)
 //	POST /v1/iterate  the iterative technique  (serve.Request -> serve.IterateResponse)
+//	POST /v1/batch    many map/iterate items   (serve.BatchRequest -> serve.BatchResponse)
 //	GET  /healthz     liveness + queue state; 503 while draining
 //	GET  /metricz     serve.* metrics snapshot (JSON; ?format=text for text)
 //	GET  /statusz     operational summary: counters, cache hit ratio, gauges,
@@ -21,7 +22,8 @@
 //
 // Every scheduling request is traced: a root span plus one span per stage
 // (decode, validate, queue_wait, cache_lookup, coalesce_wait, compute,
-// marshal, write), with IDs derived from the canonical request key and an
+// marshal, write; batch requests add batch_split and batch_merge around the
+// per-item fan-out), with IDs derived from the canonical request key and an
 // in-process sequence — never from the clock. The trace ID is echoed in the
 // X-Schedd-Trace response header and stamped on access-log records; span
 // durations feed the /statusz stage quantiles. -trace-out additionally
@@ -32,7 +34,9 @@
 // policy and seed give byte-identical bodies, cached or computed. -selfcheck
 // starts the daemon on an ephemeral port, replays the pinned Table-1
 // Min-Min trace over real HTTP (twice: computed, then cached), verifies
-// both bodies bit-for-bit, then replays it through the deterministic fault
+// both bodies bit-for-bit, drives the same item through POST /v1/batch
+// (cached item bytes, isolated per-item 422, byte-identical envelope
+// replay), then replays it through the deterministic fault
 // injector (internal/faults) with the resilient client (internal/client),
 // verifying recovery and byte-identity under injected 503s, dropped
 // connections and truncated bodies, drives a deliberate worker panic and
@@ -326,6 +330,9 @@ func selfCheck(srv *serve.Server, spanCol *obs.Collector, stdout io.Writer) erro
 	if err := traceLeg(base, spanCol, reqBody, stdout); err != nil {
 		return err
 	}
+	if err := batchLeg(base, first, stdout); err != nil {
+		return err
+	}
 	if err := faultLeg(srv, base, first, reqBody, stdout); err != nil {
 		return err
 	}
@@ -473,6 +480,93 @@ func traceLeg(base string, spanCol *obs.Collector, reqBody []byte, stdout io.Wri
 	}
 	fmt.Fprintln(stdout, "[ok  ] statusz folds the spans into per-stage latency quantiles")
 	return nil
+}
+
+// batchLeg verifies POST /v1/batch end to end: a mixed batch serves the
+// pinned Table-1 item from cache (body byte-identical to the singleton
+// response minus its trailing newline) while isolating a bad neighbor's 422
+// inside the envelope, an identical single-item batch replays
+// byte-identically (the whole-envelope cache returning exactly what
+// assembly produced), and the batch counters conserve.
+func batchLeg(base string, want []byte, stdout io.Writer) error {
+	req := serve.Request{
+		ETC:       experiments.MinMinExampleETC().Values(),
+		Heuristic: "min-min",
+		Ties:      "det",
+		Seed:      1,
+	}
+	bad := req
+	bad.Heuristic = "nope"
+	mixed, err := json.Marshal(serve.BatchRequest{Items: []serve.BatchItem{
+		{Endpoint: "iterate", Request: req},
+		{Endpoint: "iterate", Request: bad},
+	}})
+	if err != nil {
+		return err
+	}
+	env, err := postBatch(base, mixed)
+	if err != nil {
+		return err
+	}
+	var br serve.BatchResponse
+	if err := json.Unmarshal(env, &br); err != nil {
+		return fmt.Errorf("batch leg: decoding envelope: %w (%s)", err, env)
+	}
+	wantItem := bytes.TrimSuffix(want, []byte("\n"))
+	if len(br.Results) != 2 {
+		return fmt.Errorf("batch leg: %d results, want 2", len(br.Results))
+	}
+	if br.Results[0].Status != http.StatusOK || !bytes.Equal(br.Results[0].Body, wantItem) || br.Results[0].Cache != "hit" {
+		return fmt.Errorf("batch leg: item 0 status %d cache %q, want the cached Table-1 bytes", br.Results[0].Status, br.Results[0].Cache)
+	}
+	var er serve.ErrorResponse
+	if br.Results[1].Status != http.StatusUnprocessableEntity ||
+		json.Unmarshal(br.Results[1].Body, &er) != nil || er.Error.Code != serve.CodeValidationFailed {
+		return fmt.Errorf("batch leg: item 1 status %d body %s, want an isolated 422 validation_failed", br.Results[1].Status, br.Results[1].Body)
+	}
+	fmt.Fprintln(stdout, "[ok  ] /v1/batch serves the pinned item from cache and isolates a bad neighbor's 422")
+
+	ident, err := json.Marshal(serve.BatchRequest{Items: []serve.BatchItem{{Endpoint: "iterate", Request: req}}})
+	if err != nil {
+		return err
+	}
+	envA, err := postBatch(base, ident)
+	if err != nil {
+		return err
+	}
+	envB, err := postBatch(base, ident)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(envA, envB) {
+		return fmt.Errorf("batch leg: identical batch replay differs:\n%s\n%s", envA, envB)
+	}
+	counters, err := counterSnapshot(base)
+	if err != nil {
+		return err
+	}
+	if counters["serve.batch_requests_total"] != 3 || counters["serve.batch_items_total"] != 4 {
+		return fmt.Errorf("batch leg: batch counters %d requests / %d items, want 3/4",
+			counters["serve.batch_requests_total"], counters["serve.batch_items_total"])
+	}
+	fmt.Fprintln(stdout, "[ok  ] identical batch replay is byte-identical; batch counters conserve")
+	return nil
+}
+
+func postBatch(base string, body []byte) ([]byte, error) {
+	resp, err := http.Post(base+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/v1/batch: status %d: %s", resp.StatusCode, respBody)
+	}
+	return respBody, nil
 }
 
 // faultLeg replays the pinned Table-1 request through the deterministic

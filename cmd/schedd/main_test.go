@@ -25,7 +25,7 @@ func TestSelfcheck(t *testing.T) {
 		"[ok  ] 16 fault-injected replays recovered byte-identical responses",
 		"[ok  ] metricz reports 13 injected faults (3 rejected, 3 dropped, 5 truncated) and 11 client retries",
 		"[ok  ] deliberate panic isolated: structured 500, panics_total=1, cache intact",
-		"[ok  ] chaos scenario breaker-trip: 8 invariants hold",
+		"[ok  ] chaos scenario breaker-trip: 9 invariants hold",
 		"[ok  ] drained",
 	} {
 		if !strings.Contains(stdout.String(), want) {
@@ -60,19 +60,35 @@ func TestSelfcheckWritesAccessLog(t *testing.T) {
 	// The sink also records the panic leg's panic_recovered event; keep only
 	// request_done records for the per-request assertions below.
 	recovered := 0
+	batches := 0
 	var done []string
 	for _, line := range lines {
 		if strings.Contains(line, `"event":"panic_recovered"`) {
 			recovered++
 			continue
 		}
-		if !strings.Contains(line, `"event":"request_done"`) || !strings.Contains(line, `"endpoint":"/v1/iterate"`) {
+		if !strings.Contains(line, `"event":"request_done"`) {
 			t.Fatalf("unexpected access-log line: %s", line)
+		}
+		switch {
+		case strings.Contains(line, `"endpoint":"/v1/iterate"`):
+		case strings.Contains(line, `"endpoint":"/v1/batch"`):
+			// The batch leg's posts land as one request_done each, with the
+			// per-item count in the "items" field.
+			if !strings.Contains(line, `"items":`) {
+				t.Fatalf("batch request_done line lacks an items count: %s", line)
+			}
+			batches++
+		default:
+			t.Fatalf("unexpected access-log endpoint: %s", line)
 		}
 		if !strings.Contains(line, `"trace_id":"`) {
 			t.Fatalf("request_done line lacks a trace_id: %s", line)
 		}
 		done = append(done, line)
+	}
+	if batches != 3 {
+		t.Fatalf("%d /v1/batch request_done lines, want exactly 3 (mixed batch + identical replay pair):\n%s", batches, data)
 	}
 	if recovered != 1 {
 		t.Fatalf("%d panic_recovered lines, want exactly 1:\n%s", recovered, data)
@@ -99,6 +115,12 @@ func TestSelfcheckWritesAccessLog(t *testing.T) {
 			if strings.Contains(line, `"cache"`) {
 				t.Fatalf("panic-recovered record claims a cache state: %s", line)
 			}
+			continue
+		}
+		if strings.Contains(line, `"endpoint":"/v1/batch"`) {
+			// Batch cache state is per-item inside the envelope; the
+			// request-level record carries none unless the whole envelope
+			// replayed from cache.
 			continue
 		}
 		if !strings.Contains(line, `"cache":"hit"`) {

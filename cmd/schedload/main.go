@@ -12,6 +12,12 @@
 // was computed by a worker, served from the cache, or recovered through
 // retries.
 //
+// With -batch N the request stream is grouped into /v1/batch posts of up to
+// N items each. Latency quantiles are then per item (batch wall time divided
+// by its item count), and -verify checks each batch item's body against a
+// singleton response to the identical request: item body == singleton body
+// minus the trailing newline.
+//
 // With -faults the generator interposes an in-process seeded fault proxy
 // (internal/faults) between its clients and the daemon, so the resilient
 // client can be exercised against rejections, dropped connections and
@@ -20,10 +26,10 @@
 // Usage:
 //
 //	schedload -addr 127.0.0.1:8080 [-endpoint iterate|map] [-requests 64]
-//	          [-concurrency 8] [-tasks 16] [-machines 4] [-distinct 4]
-//	          [-class hihi-i] [-heuristic min-min] [-ties det] [-seed 1]
-//	          [-retries 3] [-backoff 10ms] [-timeout 5s] [-faults spec]
-//	          [-trace-out spans.jsonl] [-verify=true]
+//	          [-batch 0] [-concurrency 8] [-tasks 16] [-machines 4]
+//	          [-distinct 4] [-class hihi-i] [-heuristic min-min] [-ties det]
+//	          [-seed 1] [-retries 3] [-backoff 10ms] [-timeout 5s]
+//	          [-faults spec] [-trace-out spans.jsonl] [-verify=true]
 //
 // With -trace-out every Post is traced client-side — a root span per
 // logical request with one child span per HTTP attempt (carrying the
@@ -75,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		addr        = fs.String("addr", "", "schedd address, host:port or http://host:port (required)")
 		endpoint    = fs.String("endpoint", "iterate", "scheduling endpoint: iterate or map")
 		requests    = fs.Int("requests", 64, "total requests to send")
+		batch       = fs.Int("batch", 0, "group requests into /v1/batch posts of up to this many items (0 = singleton requests)")
 		concurrency = fs.Int("concurrency", 8, "concurrent client goroutines")
 		tasks       = fs.Int("tasks", 16, "tasks per generated workload")
 		machines    = fs.Int("machines", 4, "machines per generated workload")
@@ -99,6 +106,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *requests <= 0 || *concurrency <= 0 || *distinct <= 0 {
 		return fmt.Errorf("-requests, -concurrency and -distinct must be positive")
+	}
+	if *batch < 0 {
+		return fmt.Errorf("-batch must be >= 0")
 	}
 	if *retries < 0 || *backoff <= 0 || *timeout <= 0 {
 		return fmt.Errorf("-retries must be >= 0; -backoff and -timeout must be positive")
@@ -131,24 +141,47 @@ func run(args []string, stdout, stderr io.Writer) error {
 		base = proxyBase
 	}
 	target := base + "/v1/" + *endpoint
+	batchTarget := base + "/v1/batch"
 
 	// The request stream is deterministic in the flags: one rng source,
 	// consumed workload by workload.
 	src := rng.New(*seed)
+	reqs := make([]serve.Request, *distinct)
 	bodies := make([][]byte, *distinct)
 	for i := range bodies {
 		m, err := etc.GenerateClass(class, *tasks, *machines, src)
 		if err != nil {
 			return err
 		}
-		bodies[i], err = json.Marshal(serve.Request{
+		reqs[i] = serve.Request{
 			ETC:       m.Values(),
 			Heuristic: *heuristic,
 			Ties:      *ties,
 			Seed:      *seed,
-		})
+		}
+		bodies[i], err = json.Marshal(reqs[i])
 		if err != nil {
 			return err
+		}
+	}
+
+	// In batch mode the stream is regrouped into ceil(requests/batch) batch
+	// bodies; item i of the logical stream keeps its workload bodies[i%distinct].
+	var batchBodies [][]byte
+	if *batch > 0 {
+		numBatches := (*requests + *batch - 1) / *batch
+		batchBodies = make([][]byte, numBatches)
+		for g := range batchBodies {
+			lo, hi := g**batch, min((g+1)**batch, *requests)
+			items := make([]serve.BatchItem, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				items = append(items, serve.BatchItem{Endpoint: *endpoint, Request: reqs[i%*distinct]})
+			}
+			b, err := json.Marshal(serve.BatchRequest{Items: items})
+			if err != nil {
+				return err
+			}
+			batchBodies[g] = b
 		}
 	}
 
@@ -189,6 +222,68 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Metrics:     reg,
 		Tracer:      tracer,
 	})
+	// sendSingleton resolves logical request i through a singleton post;
+	// sendBatch resolves one batch post into its items' outcomes, charging
+	// every item an equal share of the batch's wall time.
+	sendSingleton := func(i int) {
+		t0 := time.Now()
+		resp, err := cl.Post(context.Background(), target, bodies[i%*distinct])
+		latencyMS := float64(time.Since(t0)) / float64(time.Millisecond)
+		var se *client.StatusError
+		switch {
+		case err == nil:
+			outcomes[i] = outcome{
+				status:    resp.Status,
+				cache:     resp.Cache,
+				body:      resp.Body,
+				latencyMS: latencyMS,
+			}
+		case errors.As(err, &se):
+			outcomes[i] = outcome{status: se.Status, body: se.Body, latencyMS: latencyMS}
+		default:
+			outcomes[i] = outcome{err: err, latencyMS: latencyMS}
+		}
+	}
+	sendBatch := func(g int) {
+		lo, hi := g**batch, min((g+1)**batch, *requests)
+		t0 := time.Now()
+		resp, err := cl.Post(context.Background(), batchTarget, batchBodies[g])
+		perItemMS := float64(time.Since(t0)) / float64(time.Millisecond) / float64(hi-lo)
+		fill := func(o outcome) {
+			o.latencyMS = perItemMS
+			for i := lo; i < hi; i++ {
+				outcomes[i] = o
+			}
+		}
+		var se *client.StatusError
+		switch {
+		case err == nil:
+			var br serve.BatchResponse
+			if uerr := json.Unmarshal(resp.Body, &br); uerr != nil {
+				fill(outcome{err: fmt.Errorf("batch envelope: %w", uerr)})
+				return
+			}
+			if len(br.Results) != hi-lo {
+				fill(outcome{err: fmt.Errorf("batch returned %d results for %d items", len(br.Results), hi-lo)})
+				return
+			}
+			for i := lo; i < hi; i++ {
+				res := br.Results[i-lo]
+				outcomes[i] = outcome{status: res.Status, cache: res.Cache, body: res.Body, latencyMS: perItemMS}
+			}
+		case errors.As(err, &se):
+			fill(outcome{status: se.Status, body: se.Body})
+		default:
+			fill(outcome{err: err})
+		}
+	}
+	jobs := *requests
+	send := sendSingleton
+	if *batch > 0 {
+		jobs = len(batchBodies)
+		send = sendBatch
+	}
+
 	var wg sync.WaitGroup
 	start := time.Now() // wall-clock: throughput/latency reporting only
 	for c := 0; c < *concurrency; c++ {
@@ -196,27 +291,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= *requests {
+				j := int(next.Add(1)) - 1
+				if j >= jobs {
 					return
 				}
-				t0 := time.Now()
-				resp, err := cl.Post(context.Background(), target, bodies[i%*distinct])
-				latencyMS := float64(time.Since(t0)) / float64(time.Millisecond)
-				var se *client.StatusError
-				switch {
-				case err == nil:
-					outcomes[i] = outcome{
-						status:    resp.Status,
-						cache:     resp.Cache,
-						body:      resp.Body,
-						latencyMS: latencyMS,
-					}
-				case errors.As(err, &se):
-					outcomes[i] = outcome{status: se.Status, body: se.Body, latencyMS: latencyMS}
-				default:
-					outcomes[i] = outcome{err: err, latencyMS: latencyMS}
-				}
+				send(j)
 			}
 		}()
 	}
@@ -246,8 +325,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	for _, c := range reg.Snapshot().Counters {
 		counters[c.Name] = c.Value
 	}
-	fmt.Fprintf(stdout, "schedload: %d requests to %s (%dx%d %s, heuristic %s, ties %s, seed %d, %d distinct, concurrency %d)\n",
-		*requests, target, *tasks, *machines, class.Label(), *heuristic, *ties, *seed, *distinct, *concurrency)
+	if *batch > 0 {
+		fmt.Fprintf(stdout, "schedload: %d requests to %s in %d batches of up to %d (%dx%d %s, heuristic %s, ties %s, seed %d, %d distinct, concurrency %d)\n",
+			*requests, batchTarget, len(batchBodies), *batch, *tasks, *machines, class.Label(), *heuristic, *ties, *seed, *distinct, *concurrency)
+	} else {
+		fmt.Fprintf(stdout, "schedload: %d requests to %s (%dx%d %s, heuristic %s, ties %s, seed %d, %d distinct, concurrency %d)\n",
+			*requests, target, *tasks, *machines, class.Label(), *heuristic, *ties, *seed, *distinct, *concurrency)
+	}
 	fmt.Fprintf(stdout, "responses: %d ok, %d errors, %d cache hits\n", ok, failed, hits)
 	fmt.Fprintf(stdout, "resilience: %d attempts, %d retries, %d breaker fast-fails, %d injected faults\n",
 		counters["client.attempts_total"], counters["client.retries_total"],
@@ -259,14 +343,30 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "latency ms: p50 %.3f p90 %.3f p99 %.3f max %.3f (observational)\n",
-			qs[0], qs[1], qs[2], qs[3])
+		label := "latency ms"
+		if *batch > 0 {
+			label = "per-item latency ms"
+		}
+		fmt.Fprintf(stdout, "%s: p50 %.3f p90 %.3f p99 %.3f max %.3f (observational)\n",
+			label, qs[0], qs[1], qs[2], qs[3])
 	}
 
 	if *verify {
 		// Identical bodies must have produced byte-identical responses —
-		// the service's determinism guarantee, cache hit or miss.
+		// the service's determinism guarantee, cache hit or miss. In batch
+		// mode the reference is a fresh singleton response per distinct
+		// body: a batch item's bytes must equal the singleton response
+		// minus its trailing newline (the envelope carries no framing).
 		reference := make([][]byte, *distinct)
+		if *batch > 0 {
+			for k, body := range bodies {
+				resp, err := cl.Post(context.Background(), target, body)
+				if err != nil {
+					return fmt.Errorf("verify: singleton reference %d: %w", k, err)
+				}
+				reference[k] = bytes.TrimSuffix(resp.Body, []byte("\n"))
+			}
+		}
 		for i, o := range outcomes {
 			if o.err != nil || o.status != http.StatusOK {
 				continue
@@ -277,10 +377,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 				continue
 			}
 			if !bytes.Equal(reference[k], o.body) {
+				if *batch > 0 {
+					return fmt.Errorf("request %d: batch item differs from the singleton response to the identical body", i)
+				}
 				return fmt.Errorf("request %d: response differs from an earlier response to the identical body", i)
 			}
 		}
-		fmt.Fprintf(stdout, "verify: %d distinct bodies -> byte-identical responses\n", *distinct)
+		if *batch > 0 {
+			fmt.Fprintf(stdout, "verify: %d distinct bodies -> batch items byte-identical to singleton responses\n", *distinct)
+		} else {
+			fmt.Fprintf(stdout, "verify: %d distinct bodies -> byte-identical responses\n", *distinct)
+		}
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d requests failed", failed, *requests)

@@ -57,6 +57,38 @@ func TestLoadAgainstServer(t *testing.T) {
 	}
 }
 
+// TestLoadBatchMode groups the stream into /v1/batch posts: every item must
+// succeed, per-item latency quantiles are reported, and -verify proves each
+// batch item byte-identical to a singleton response for the same body.
+func TestLoadBatchMode(t *testing.T) {
+	_, ts := startServer(t, serve.Options{})
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-addr", ts.URL,
+		"-requests", "24", "-batch", "7", "-concurrency", "2",
+		"-tasks", "8", "-machines", "3", "-distinct", "3",
+		"-heuristic", "sufferage", "-seed", "9",
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"24 requests", "in 4 batches of up to 7",
+		"24 ok, 0 errors",
+		"per-item latency ms: p50",
+		"verify: 3 distinct bodies -> batch items byte-identical to singleton responses",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	// 3 distinct workloads across 24 items: the warm items must be hits.
+	if strings.Contains(out, " 0 cache hits") {
+		t.Errorf("expected cache hits in:\n%s", out)
+	}
+}
+
 func TestLoadMapEndpoint(t *testing.T) {
 	_, ts := startServer(t, serve.Options{})
 	var stdout, stderr bytes.Buffer
@@ -152,6 +184,7 @@ func TestFlagValidation(t *testing.T) {
 		{"-addr", "x", "-class", "zz-q"},    // bad class
 		{"-addr", "x", "-requests", "0"},    // non-positive
 		{"-addr", "x", "-retries", "-1"},    // negative retries
+		{"-addr", "x", "-batch", "-1"},      // negative batch size
 		{"-addr", "x", "-faults", "drop=2"}, // bad fault spec
 		{"-nope"},                           // unknown flag
 	}

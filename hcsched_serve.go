@@ -23,6 +23,18 @@ type (
 	IterateResponse = serve.IterateResponse
 	// IterationResult is one iteration inside an IterateResponse.
 	IterationResult = serve.IterationResult
+	// BatchScheduleRequest is the wire request of /v1/batch: many map or
+	// iterate items answered in one HTTP exchange, results in input order.
+	BatchScheduleRequest = serve.BatchRequest
+	// BatchScheduleItem is one entry of a BatchScheduleRequest: a
+	// ScheduleRequest plus the "map" or "iterate" endpoint serving it.
+	BatchScheduleItem = serve.BatchItem
+	// BatchScheduleResponse is the wire response of /v1/batch.
+	BatchScheduleResponse = serve.BatchResponse
+	// BatchScheduleItemResult is one per-item outcome in a
+	// BatchScheduleResponse; its Body is byte-identical to the
+	// corresponding singleton response minus the trailing newline.
+	BatchScheduleItemResult = serve.BatchItemResult
 	// RequestDoneEvent records one served request, with observational
 	// latency, in an access log or metrics observer.
 	RequestDoneEvent = obs.RequestDone

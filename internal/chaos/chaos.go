@@ -63,6 +63,10 @@ type Phase struct {
 	// PanicEvery, when positive, replaces every PanicEvery-th request with
 	// a PanicSeed request that deliberately panics a worker.
 	PanicEvery int `json:"panic_every,omitempty"`
+	// BatchEvery, when positive, sends every BatchEvery-th request as a
+	// POST /v1/batch carrying all Distinct workload bodies as items. A
+	// request that is both a panic and a batch slot panics (panic wins).
+	BatchEvery int `json:"batch_every,omitempty"`
 }
 
 // Scenario is a phased, seeded failure schedule.
@@ -99,6 +103,9 @@ func (sc Scenario) validate() error {
 		if strings.Contains(ph.Faults, "seed=") {
 			return fmt.Errorf("chaos: phase %d (%s) must not pin its own fault seed", i, ph.Name)
 		}
+		if ph.PanicEvery < 0 || ph.BatchEvery < 0 {
+			return fmt.Errorf("chaos: phase %d (%s) needs non-negative PanicEvery and BatchEvery", i, ph.Name)
+		}
 	}
 	return nil
 }
@@ -121,6 +128,15 @@ type PhaseReport struct {
 	Transport int `json:"transport"`
 	// BreakerFastFail counts requests refused locally by the open breaker.
 	BreakerFastFail int `json:"breaker_fastfail"`
+	// BatchPosts counts the phase's requests sent as /v1/batch posts (a
+	// subset of Requests; each batch post fills exactly one outcome bucket
+	// above, so conservation is unchanged).
+	BatchPosts int `json:"batch_posts,omitempty"`
+	// BatchItemsOK counts batch items byte-identical to their goldens.
+	BatchItemsOK int `json:"batch_items_ok,omitempty"`
+	// BatchItemErrors tallies batch item error envelopes by "status:code" —
+	// item-level failures inside 200 batch envelopes.
+	BatchItemErrors map[string]int `json:"batch_item_errors,omitempty"`
 }
 
 // InvariantResult is one machine-checked invariant's verdict.
@@ -241,6 +257,7 @@ func Run(sc Scenario) (*Report, error) {
 	// cache key that always reaches a worker and always panics).
 	class := classByLabel("hihi-i")
 	src := rng.New(sc.Seed)
+	reqs := make([]serve.Request, sc.Distinct)
 	bodies := make([][]byte, sc.Distinct)
 	var panicBody []byte
 	for i := range bodies {
@@ -248,7 +265,8 @@ func Run(sc Scenario) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("chaos: generating workload: %w", err)
 		}
-		bodies[i], err = json.Marshal(serve.Request{ETC: m.Values(), Heuristic: sc.Heuristic, Ties: "det", Seed: sc.Seed})
+		reqs[i] = serve.Request{ETC: m.Values(), Heuristic: sc.Heuristic, Ties: "det", Seed: sc.Seed}
+		bodies[i], err = json.Marshal(reqs[i])
 		if err != nil {
 			return nil, err
 		}
@@ -257,6 +275,23 @@ func Run(sc Scenario) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+		}
+	}
+	// The batch body carries every distinct workload as one /v1/batch post;
+	// phases with BatchEvery interleave it with the singleton stream.
+	batchItems := make([]serve.BatchItem, sc.Distinct)
+	for i, rq := range reqs {
+		batchItems[i] = serve.BatchItem{Endpoint: "iterate", Request: rq}
+	}
+	batchBody, err := json.Marshal(serve.BatchRequest{Items: batchItems})
+	if err != nil {
+		return nil, err
+	}
+	batchTarget := "http://" + ln.Addr().String() + "/v1/batch"
+	batchUsed := false
+	for _, ph := range sc.Phases {
+		if ph.BatchEvery > 0 {
+			batchUsed = true
 		}
 	}
 
@@ -286,6 +321,11 @@ func Run(sc Scenario) (*Report, error) {
 			return nil, fmt.Errorf("chaos: golden request %d: status %d: %s", i, resp.StatusCode, golden)
 		}
 		goldens[i] = golden
+	}
+	// Batch items embed the singleton bytes minus the trailing newline.
+	goldenItems := make([][]byte, sc.Distinct)
+	for i, g := range goldens {
+		goldenItems[i] = bytes.TrimSuffix(g, []byte("\n"))
 	}
 
 	// One resilient client for the whole run, so the breaker sees the full
@@ -332,9 +372,37 @@ func Run(sc Scenario) (*Report, error) {
 			store(srv.Handler())
 		}
 		for i := 0; i < ph.Requests; i++ {
+			isPanic := ph.PanicEvery > 0 && (i+1)%ph.PanicEvery == 0
+			if !isPanic && ph.BatchEvery > 0 && (i+1)%ph.BatchEvery == 0 {
+				// A batch slot posts every distinct body in one exchange; it
+				// fills exactly one outcome bucket, like any other request.
+				pr.BatchPosts++
+				resp, err := cl.Post(context.Background(), batchTarget, batchBody)
+				postCalls++
+				var se *client.StatusError
+				switch {
+				case err == nil:
+					if detail := tallyBatchItems(resp.Body, goldenItems, &pr); detail == "" {
+						pr.OK++
+					} else {
+						pr.Mismatch++
+						violate("phase %s request %d: %s", ph.Name, i, detail)
+					}
+				case errors.Is(err, client.ErrBreakerOpen):
+					pr.BreakerFastFail++
+				case errors.As(err, &se):
+					code := envelopeCode(se.Body)
+					pr.Errors[fmt.Sprintf("%d:%s", se.Status, code)]++
+					if !documentedCodes[code] {
+						violate("phase %s request %d: undocumented error code %q (status %d)", ph.Name, i, code, se.Status)
+					}
+				default:
+					pr.Transport++
+				}
+				continue
+			}
 			body, k := bodies[next%sc.Distinct], next%sc.Distinct
 			next++
-			isPanic := ph.PanicEvery > 0 && (i+1)%ph.PanicEvery == 0
 			if isPanic {
 				body, k = panicBody, -1
 				panicsScheduled++
@@ -383,6 +451,22 @@ func Run(sc Scenario) (*Report, error) {
 			continue
 		}
 		rep.Recovered++
+	}
+	if batchUsed {
+		// The batch path must have recovered too: one fault-free batch post,
+		// every item byte-identical to its golden.
+		resp, err := cl.Post(context.Background(), batchTarget, batchBody)
+		postCalls++
+		if err != nil {
+			violate("recovery batch: %v", errorClass(err))
+		} else {
+			var tally PhaseReport
+			if detail := tallyBatchItems(resp.Body, goldenItems, &tally); detail != "" {
+				violate("recovery batch: %s", detail)
+			} else if tally.BatchItemsOK != sc.Distinct {
+				violate("recovery batch: %d of %d items byte-identical", tally.BatchItemsOK, sc.Distinct)
+			}
+		}
 	}
 
 	// Quiesce: stop accepting, drain the worker pool, release idle conns.
@@ -437,7 +521,8 @@ func Run(sc Scenario) (*Report, error) {
 	// client roots match resilient-client Posts, and neither stream has a
 	// structural violation (several roots, orphan parents, stages past their
 	// root), even for rejected, faulted or panicking requests.
-	srvSum := obs.SummarizeSpans(spansOf(serveSpans))
+	srvSpanList := spansOf(serveSpans)
+	srvSum := obs.SummarizeSpans(srvSpanList)
 	clSum := obs.SummarizeSpans(spansOf(clientSpans))
 	spanDetail := fmt.Sprintf("server %d roots for %d arrivals, client %d roots for %d posts",
 		srvSum.Roots, total, clSum.Roots, postCalls)
@@ -448,6 +533,20 @@ func Run(sc Scenario) (*Report, error) {
 		srvSum.WellFormed() && clSum.WellFormed() &&
 			int64(srvSum.Roots) == total && clSum.Roots == postCalls,
 		spanDetail)
+	// Batch children conserve too: batch_split and batch_merge bracket the
+	// per-item fan-out and must pair one-to-one on every served batch (the
+	// whole-envelope cache fast path legitimately emits neither).
+	splits, merges := 0, 0
+	for _, sp := range srvSpanList {
+		switch sp.Name {
+		case "batch_split":
+			splits++
+		case "batch_merge":
+			merges++
+		}
+	}
+	check("batch_spans", splits == merges,
+		fmt.Sprintf("%d batch_split vs %d batch_merge spans", splits, merges))
 	leaked, goroutines := goroutineLeak(baseline)
 	// The passing detail carries no counts: the pre-run baseline depends on
 	// process state (idle pool goroutines from earlier runs), and absolute
@@ -466,6 +565,41 @@ func Run(sc Scenario) (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// tallyBatchItems checks one 200 batch envelope: every item must be a 200
+// byte-identical to its golden or carry a documented error code. Item
+// tallies accumulate into pr; the return value is a violation detail, empty
+// when the envelope is clean (item-level documented errors are clean — the
+// batch reported them correctly).
+func tallyBatchItems(envelope []byte, goldenItems [][]byte, pr *PhaseReport) string {
+	var br serve.BatchResponse
+	if err := json.Unmarshal(envelope, &br); err != nil {
+		return "batch envelope unparseable"
+	}
+	if len(br.Results) != len(goldenItems) {
+		return fmt.Sprintf("batch envelope has %d results for %d items", len(br.Results), len(goldenItems))
+	}
+	detail := ""
+	for i, res := range br.Results {
+		if res.Status == http.StatusOK {
+			if bytes.Equal(res.Body, goldenItems[i]) {
+				pr.BatchItemsOK++
+			} else if detail == "" {
+				detail = fmt.Sprintf("batch item %d: 200 body differs from golden", i)
+			}
+			continue
+		}
+		code := envelopeCode(res.Body)
+		if pr.BatchItemErrors == nil {
+			pr.BatchItemErrors = map[string]int{}
+		}
+		pr.BatchItemErrors[fmt.Sprintf("%d:%s", res.Status, code)]++
+		if !documentedCodes[code] && detail == "" {
+			detail = fmt.Sprintf("batch item %d: undocumented error code %q (status %d)", i, code, res.Status)
+		}
+	}
+	return detail
 }
 
 // spansOf extracts the span events from a collector.
@@ -586,6 +720,17 @@ func Builtin() []Scenario {
 				{Name: "healthy", Requests: 6},
 				{Name: "flood", Requests: 18, Faults: "truncate=0.6"},
 				{Name: "calm", Requests: 6},
+			},
+		},
+		{
+			Name:        "batch-storm",
+			Description: "mixed singleton and batch traffic under latency and truncation; batch items stay byte-identical or documented",
+			Seed:        19, Tasks: 10, Machines: 4, Distinct: 3,
+			Heuristic: "min-min", MaxRetries: 8,
+			Phases: []Phase{
+				{Name: "healthy", Requests: 8, BatchEvery: 2},
+				{Name: "latency-truncate", Requests: 16, BatchEvery: 2, Faults: "latency=0.2:1ms,truncate=0.4"},
+				{Name: "calm", Requests: 8, BatchEvery: 2},
 			},
 		},
 		{

@@ -1,0 +1,223 @@
+package heuristics
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// This file shards the kernel's per-round completion-time scans across a
+// bounded worker gang for large instances. The contract is the same as
+// kernel.go's: bit-identical behavior with the sequential path, for any
+// worker count.
+//
+//   - Split points are deterministic: the unmapped-task list (already kept
+//     in ascending order) is cut into contiguous chunks by index arithmetic
+//     only — never by goroutine finish order.
+//   - Column refreshes touch disjoint rows, so workers never race.
+//   - The phase-1 target is folded per chunk and the partials are merged in
+//     chunk order with the same plain < / > comparisons. Exact min/max over
+//     positive finite floats is an order-independent reduction, so any
+//     chunking (including one chunk: the sequential path) yields the same
+//     bits.
+//   - Phase-2 candidates are gathered into per-worker scratch and
+//     concatenated in chunk order, reproducing the canonical ascending
+//     task-major candidate order the tiebreak.Policy contract requires.
+//
+// Sufferage parallelizes differently: within a pass the ready vector is
+// frozen, so each listed task's completion row and sufferage value can be
+// precomputed concurrently; the decision loop itself (which consumes the
+// tiebreak policy) stays sequential and sees exactly the values it would
+// have computed inline.
+//
+// parallel_test.go pins parallel == sequential on mappings, tie-candidate
+// sets and Sufferage traces at 512×16 and 4096×128 across worker counts.
+
+// parKernelMinCells is the instance-size threshold (tasks × machines) below
+// which the kernel stays sequential: gang startup and per-round handoff cost
+// more than they save on small instances. parKernelMaxWorkers bounds the
+// auto-sized gang; parKernelWorkers (0 = auto) pins an exact gang size so
+// tests and benchmarks can force the parallel machinery even on a
+// single-CPU host. These are variables deliberately: changing them never
+// changes results, only wall-clock.
+var (
+	parKernelMinCells   = 1 << 15
+	parKernelMaxWorkers = 8
+	parKernelWorkers    = 0
+)
+
+// kernelWorkers returns the gang size for an instance of the given cell
+// count: 1 (sequential) below the threshold, else the pinned
+// parKernelWorkers or GOMAXPROCS capped at parKernelMaxWorkers.
+func kernelWorkers(cells int) int {
+	if cells < parKernelMinCells {
+		return 1
+	}
+	w := parKernelWorkers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+		if w > parKernelMaxWorkers {
+			w = parKernelMaxWorkers
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// gangTask is one chunk handed to a gang worker: fn applied to [lo, hi).
+type gangTask struct {
+	fn     func(w, lo, hi int)
+	w      int
+	lo, hi int
+}
+
+// gang is a fixed worker set for fork-join parallel-for rounds. The caller
+// participates as worker 0, so a gang of n spawns n-1 goroutines. Gangs live
+// for one mapping and are closed at its end — they are never parked in the
+// kernel pools, so no goroutines outlive a Map call.
+type gang struct {
+	n  int
+	ch chan gangTask
+	wg sync.WaitGroup
+}
+
+func newGang(n int) *gang {
+	g := &gang{n: n, ch: make(chan gangTask, n)}
+	for i := 0; i < n-1; i++ {
+		go func() {
+			for t := range g.ch {
+				t.fn(t.w, t.lo, t.hi)
+				g.wg.Done()
+			}
+		}()
+	}
+	return g
+}
+
+func (g *gang) close() { close(g.ch) }
+
+// parFor applies fn to n items split into g.n contiguous chunks: worker w
+// covers [w*n/g.n, (w+1)*n/g.n). Chunk bounds depend only on n and the gang
+// size, and every use of parFor merges per-chunk results in chunk order, so
+// the outcome is independent of scheduling. parFor returns after every chunk
+// completes (the WaitGroup provides the happens-before edge that publishes
+// worker writes to the caller).
+func (g *gang) parFor(n int, fn func(w, lo, hi int)) {
+	g.wg.Add(g.n - 1)
+	for w := 1; w < g.n; w++ {
+		g.ch <- gangTask{fn: fn, w: w, lo: w * n / g.n, hi: (w + 1) * n / g.n}
+	}
+	fn(0, 0, n/g.n)
+	g.wg.Wait()
+}
+
+// startGang attaches a gang and per-worker scratch to the kernel for one
+// run over an instance of the given cell count; it returns false (and
+// attaches nothing) when the instance is below the parallel threshold.
+func (k *twoPhaseKernel) startGang(cells int) bool {
+	w := kernelWorkers(cells)
+	if w <= 1 {
+		return false
+	}
+	k.g = newGang(w)
+	// Partial fold targets are padded to their own cache lines so workers
+	// never false-share.
+	k.ptarget = growFloats(k.ptarget, w*foldStride)
+	if cap(k.pcands) < w {
+		k.pcands = make([][]int, w)
+	}
+	k.pcands = k.pcands[:w]
+	return true
+}
+
+// stopGang releases the kernel's gang (its goroutines exit); scratch slices
+// stay on the kernel for pooling.
+func (k *twoPhaseKernel) stopGang() {
+	if k.g != nil {
+		k.g.close()
+		k.g = nil
+	}
+}
+
+// foldStride spaces per-worker partial fold slots one cache line apart.
+const foldStride = 8
+
+// commitParallel is commit's refresh-and-fold loop sharded over the gang.
+// The task was already removed from k.order by the caller.
+func (k *twoPhaseKernel) commitParallel(machine int, rm float64, useMax bool) float64 {
+	nM := k.nM
+	order := k.order
+	k.g.parFor(len(order), func(w, lo, hi int) {
+		target := math.Inf(1)
+		if useMax {
+			target = math.Inf(-1)
+		}
+		for _, t := range order[lo:hi] {
+			base := t * nM
+			old := k.rows[base+machine]
+			k.rows[base+machine] = k.etc[base+machine] + rm
+			bt := k.best[t]
+			if old == bt {
+				row := k.rows[base : base+nM]
+				mn := row[0]
+				for _, v := range row[1:] {
+					if v < mn {
+						mn = v
+					}
+				}
+				bt = mn
+				k.best[t] = mn
+			}
+			if useMax {
+				if bt > target {
+					target = bt
+				}
+			} else if bt < target {
+				target = bt
+			}
+		}
+		k.ptarget[w*foldStride] = target
+	})
+	target := k.ptarget[0]
+	for w := 1; w < k.g.n; w++ {
+		v := k.ptarget[w*foldStride]
+		if useMax {
+			if v > target {
+				target = v
+			}
+		} else if v < target {
+			target = v
+		}
+	}
+	return target
+}
+
+// gatherParallel is run's phase-2 candidate gather sharded over the gang:
+// per-worker scratch, concatenated in chunk order into k.cands — the same
+// ascending task-major sequence the sequential gather produces.
+func (k *twoPhaseKernel) gatherParallel(target float64) {
+	nM := k.nM
+	order := k.order
+	k.g.parFor(len(order), func(w, lo, hi int) {
+		c := k.pcands[w][:0]
+		for _, t := range order[lo:hi] {
+			bt := k.best[t]
+			if !approxEqual(bt, target) {
+				continue
+			}
+			base := t * nM
+			row := k.rows[base : base+nM]
+			for m := 0; m < nM; m++ {
+				if approxEqual(row[m], bt) {
+					c = append(c, base+m)
+				}
+			}
+		}
+		k.pcands[w] = c
+	})
+	for w := 0; w < k.g.n; w++ {
+		k.cands = append(k.cands, k.pcands[w]...)
+	}
+}

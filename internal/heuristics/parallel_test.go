@@ -1,0 +1,262 @@
+package heuristics
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/etc"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/tiebreak"
+)
+
+// Differential suite for the parallel kernel (parallel.go): the sharded
+// per-round scans must be *bit-identical* to the sequential kernel — same
+// mappings, same tie-candidate sets presented to the policy, same Sufferage
+// decision traces — at the issue's pinned shapes (512×16 and 4096×128) and
+// for any worker count. The threshold and worker-cap variables exist so this
+// suite can force both paths on the same instance.
+
+// withKernelParallelism runs fn with the parallel gate pinned: minCells 1
+// forces the parallel path on everything the gang sees, a huge minCells
+// forces the sequential path. The worker count is pinned exactly (not
+// GOMAXPROCS-capped) so the gang machinery is exercised even on a
+// single-CPU host.
+func withKernelParallelism(t *testing.T, minCells, workers int, fn func()) {
+	t.Helper()
+	oldMin, oldW := parKernelMinCells, parKernelWorkers
+	parKernelMinCells, parKernelWorkers = minCells, workers
+	defer func() { parKernelMinCells, parKernelWorkers = oldMin, oldW }()
+	fn()
+}
+
+// parallelInstance builds one instance per pinned shape. The 512×16 shape
+// uses a small-integer grid so exact ties are pervasive (the hard case for
+// candidate ordering); 4096×128 uses the range-based float generator, where
+// ties are measure-zero but every completion-time bit matters.
+func parallelInstance(t testing.TB, tasks, machines int) *sched.Instance {
+	t.Helper()
+	src := rng.New(uint64(7700 + tasks + machines))
+	var m *etc.Matrix
+	if tasks <= 512 {
+		vs := make([][]float64, tasks)
+		for i := range vs {
+			row := make([]float64, machines)
+			for j := range row {
+				row[j] = float64(1 + src.Intn(8))
+			}
+			vs[i] = row
+		}
+		m = etc.MustNew(vs)
+	} else {
+		var err error
+		m, err = etc.GenerateRange(etc.RangeParams{
+			Tasks: tasks, Machines: machines, TaskHet: 100, MachineHet: 10,
+		}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	ready := make([]float64, machines)
+	for j := range ready {
+		ready[j] = float64(src.Intn(4))
+	}
+	in, err := sched.NewInstance(m, ready)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+var parallelShapes = []struct{ tasks, machines int }{{512, 16}, {4096, 128}}
+
+// parallelWorkerCounts exercises a degenerate gang (2), an uneven split (3)
+// and a full one, so chunk-boundary arithmetic is covered at every shape.
+var parallelWorkerCounts = []int{2, 3, 8}
+
+// TestParallelKernelMappingsIdentical pins parallel == sequential mappings.
+// The tie-heavy 512×16 shape sweeps every heuristic, policy and worker
+// count; the 4096×128 float shape (where a map costs ~100ms) narrows to the
+// stateful-policy cases that would catch any divergence in the shared
+// stream, keeping the suite fast enough for the -race gate.
+func TestParallelKernelMappingsIdentical(t *testing.T) {
+	type combo struct {
+		shape    struct{ tasks, machines int }
+		hs       []Heuristic
+		policies []string
+		workers  []int
+	}
+	combos := []combo{
+		{parallelShapes[0], []Heuristic{MinMin{}, MaxMin{}, Duplex{}, Sufferage{}},
+			[]string{"first", "last", "seeded-random"}, parallelWorkerCounts},
+		{parallelShapes[1], []Heuristic{MinMin{}, MaxMin{}, Sufferage{}},
+			[]string{"seeded-random"}, []int{3}},
+	}
+	for _, c := range combos {
+		if raceDetectorEnabled && c.shape.tasks > 512 {
+			continue // covered in the non-race run; see race_enabled_test.go
+		}
+		in := parallelInstance(t, c.shape.tasks, c.shape.machines)
+		for _, h := range c.hs {
+			for _, pname := range c.policies {
+				var seq sched.Mapping
+				withKernelParallelism(t, 1<<62, 1, func() {
+					var err error
+					seq, err = h.Map(in, diffPolicies(0)[pname][0])
+					if err != nil {
+						t.Fatal(err)
+					}
+				})
+				for _, w := range c.workers {
+					var par sched.Mapping
+					withKernelParallelism(t, 1, w, func() {
+						var err error
+						par, err = h.Map(in, diffPolicies(0)[pname][1])
+						if err != nil {
+							t.Fatal(err)
+						}
+					})
+					if !par.Equal(seq) {
+						t.Fatalf("%s/%s %dx%d workers=%d: parallel mapping differs from sequential",
+							h.Name(), pname, c.shape.tasks, c.shape.machines, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelKernelTieCandidateSets pins the exact candidate sequences the
+// policy sees: chunk-order concatenation must reproduce the canonical
+// ascending task-major order, pair for pair.
+func TestParallelKernelTieCandidateSets(t *testing.T) {
+	for _, shape := range parallelShapes {
+		if raceDetectorEnabled && shape.tasks > 512 {
+			continue // covered in the non-race run; see race_enabled_test.go
+		}
+		in := parallelInstance(t, shape.tasks, shape.machines)
+		workers := parallelWorkerCounts
+		hs := []Heuristic{MinMin{}, MaxMin{}, Sufferage{}}
+		if shape.tasks > 512 {
+			workers = []int{3}
+			hs = []Heuristic{MinMin{}, Sufferage{}}
+		}
+		for _, h := range hs {
+			seqRec := tiebreak.NewRecorder(tiebreak.First{})
+			withKernelParallelism(t, 1<<62, 1, func() {
+				if _, err := h.Map(in, seqRec); err != nil {
+					t.Fatal(err)
+				}
+			})
+			for _, w := range workers {
+				parRec := tiebreak.NewRecorder(tiebreak.First{})
+				withKernelParallelism(t, 1, w, func() {
+					if _, err := h.Map(in, parRec); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if !reflect.DeepEqual(parRec.Ties, seqRec.Ties) {
+					t.Fatalf("%s %dx%d workers=%d: tie candidate sets diverge",
+						h.Name(), shape.tasks, shape.machines, w)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSufferageTraces pins the full per-pass decision traces: the
+// pass precompute must feed the decision loop exactly the values it would
+// have computed inline.
+func TestParallelSufferageTraces(t *testing.T) {
+	for _, shape := range parallelShapes {
+		if raceDetectorEnabled && shape.tasks > 512 {
+			continue // covered in the non-race run; see race_enabled_test.go
+		}
+		in := parallelInstance(t, shape.tasks, shape.machines)
+		var seq sched.Mapping
+		var seqPasses []SufferagePass
+		withKernelParallelism(t, 1<<62, 1, func() {
+			var err error
+			seq, seqPasses, err = (Sufferage{}).MapTrace(in, tiebreak.First{})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		for _, w := range parallelWorkerCounts {
+			var par sched.Mapping
+			var parPasses []SufferagePass
+			withKernelParallelism(t, 1, w, func() {
+				var err error
+				par, parPasses, err = (Sufferage{}).MapTrace(in, tiebreak.First{})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+			if !par.Equal(seq) {
+				t.Fatalf("%dx%d workers=%d: parallel Sufferage mapping differs", shape.tasks, shape.machines, w)
+			}
+			if !reflect.DeepEqual(parPasses, seqPasses) {
+				t.Fatalf("%dx%d workers=%d: Sufferage traces diverge", shape.tasks, shape.machines, w)
+			}
+		}
+	}
+}
+
+// TestParallelKernelLeavesNoGoroutines checks gangs are torn down with their
+// run: mapping large instances must not leak worker goroutines (kernels are
+// pooled; goroutines must never be).
+func TestParallelKernelLeavesNoGoroutines(t *testing.T) {
+	in := parallelInstance(t, 512, 16)
+	withKernelParallelism(t, 1, 8, func() {
+		for i := 0; i < 4; i++ {
+			if _, err := (Duplex{}).Map(in, tiebreak.First{}); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := (Sufferage{}).Map(in, tiebreak.First{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	deadline := 200
+	for runtime.NumGoroutine() > 20 && deadline > 0 {
+		runtime.Gosched()
+		deadline--
+	}
+	if n := runtime.NumGoroutine(); n > 20 {
+		t.Fatalf("%d goroutines alive after parallel mappings", n)
+	}
+}
+
+// BenchmarkParallelKernel pins the parallel kernel against the sequential
+// baseline at the issue's shapes; scripts/bench.sh records both. The par
+// variants run the default auto gang (GOMAXPROCS-sized, capped at 8): on a
+// multi-core host they show the sharding win, on a single-CPU host they
+// degenerate to the sequential path and pin that engaging the machinery
+// costs nothing when there is nothing to win.
+func BenchmarkParallelKernel(b *testing.B) {
+	bench := func(name string, minCells int, in *sched.Instance, h Heuristic) {
+		b.Run(name, func(b *testing.B) {
+			oldMin := parKernelMinCells
+			parKernelMinCells = minCells
+			defer func() { parKernelMinCells = oldMin }()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Map(in, tiebreak.First{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, shape := range parallelShapes {
+		in := parallelInstance(b, shape.tasks, shape.machines)
+		for _, mode := range []struct {
+			name     string
+			minCells int
+		}{{"seq", 1 << 62}, {"par", 1}} {
+			bench(fmt.Sprintf("minmin-%s-%dx%d", mode.name, shape.tasks, shape.machines), mode.minCells, in, MinMin{})
+			bench(fmt.Sprintf("sufferage-%s-%dx%d", mode.name, shape.tasks, shape.machines), mode.minCells, in, Sufferage{})
+		}
+	}
+}

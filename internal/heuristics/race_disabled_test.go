@@ -1,0 +1,5 @@
+//go:build !race
+
+package heuristics
+
+const raceDetectorEnabled = false

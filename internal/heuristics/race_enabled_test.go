@@ -1,0 +1,9 @@
+//go:build race
+
+package heuristics
+
+// raceDetectorEnabled lets the parallel differential suite skip its
+// largest (4096×128) legs under -race: the detector slows them ~15× while
+// adding no coverage beyond the forced-parallel 512×16 legs, which hit
+// every concurrent code path.
+const raceDetectorEnabled = true

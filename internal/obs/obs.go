@@ -111,6 +111,9 @@ type RequestDone struct {
 	// Tasks and Machines give the request's workload shape.
 	Tasks    int `json:"tasks,omitempty"`
 	Machines int `json:"machines,omitempty"`
+	// Items is the item count of a batch request (POST /v1/batch); zero for
+	// singleton scheduling requests.
+	Items int `json:"items,omitempty"`
 	// TraceID joins this access-log record to the request's span tree (and
 	// to the X-Schedd-Trace header the client saw); empty when tracing is
 	// disabled.

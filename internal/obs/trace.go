@@ -11,8 +11,9 @@ import (
 //
 // A Tracer hands out one Trace per request; a Trace is a root span plus
 // nested stage spans (decode, validate, queue_wait, cache_lookup,
-// coalesce_wait, compute, marshal, write on the serving side; attempt and
-// backoff on the client side). The repository's two observability rules
+// coalesce_wait, compute, marshal, write — plus batch_split and batch_merge
+// on batch requests — on the serving side; attempt and backoff on the
+// client side). The repository's two observability rules
 // hold here exactly as they do for events and metrics:
 //
 //   - Identity is deterministic. A trace ID is derived from the canonical
@@ -125,6 +126,28 @@ func (tr *Trace) SetKey(key string) {
 		return
 	}
 	h := fnv64a(key)
+	tr.mu.Lock()
+	tr.keyHash = h
+	tr.id = ""
+	tr.mu.Unlock()
+}
+
+// SetKeyBytes is SetKey for callers holding the key as bytes (for example
+// a batch body sitting in pooled scratch): same identity, no string
+// materialization.
+func (tr *Trace) SetKeyBytes(key []byte) {
+	if tr == nil {
+		return
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
 	tr.mu.Lock()
 	tr.keyHash = h
 	tr.id = ""

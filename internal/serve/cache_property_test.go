@@ -85,7 +85,7 @@ func TestLRUEvictionOrderProperty(t *testing.T) {
 							step, key, gotB, gotOK, wantB, wantOK)
 					}
 				} else {
-					c.add(key, body(k))
+					c.add(key, body(k), entryMeta{})
 					o.add(key, body(k))
 				}
 				if c.len() != len(o.keys) {

@@ -44,6 +44,8 @@ const (
 	// DefaultMaxEstimatedBytes caps the per-request memory estimate
 	// (instance copy plus response, see estimateBytes).
 	DefaultMaxEstimatedBytes = 64 << 20
+	// DefaultMaxBatchItems caps the item count of one POST /v1/batch body.
+	DefaultMaxBatchItems = 256
 )
 
 // Options configures a Server. The zero value is a working configuration.
@@ -70,6 +72,10 @@ type Options struct {
 	// estimate (instance copy plus response size). 0 means
 	// DefaultMaxEstimatedBytes; negative disables the guard.
 	MaxEstimatedBytes int64
+	// MaxBatchItems caps the number of items in one POST /v1/batch body;
+	// batches over it are refused with 413 before any per-item work. 0 means
+	// DefaultMaxBatchItems.
+	MaxBatchItems int
 	// PanicTrigger, when non-nil, runs in the worker just before each
 	// compute with the request's seed. It exists so selfchecks, chaos
 	// scenarios and tests can exercise the panic-isolation path with a
@@ -86,8 +92,9 @@ type Options struct {
 	Observer obs.Observer
 	// Tracer, when non-nil, opens one deterministic trace per scheduling
 	// request: a root span plus stage spans (decode, validate, cache_lookup,
-	// queue_wait, coalesce_wait, compute, marshal, write) emitted to the
-	// tracer's sink at request end. The trace ID is echoed in the
+	// queue_wait, coalesce_wait, compute, marshal, write; batch requests add
+	// batch_split and batch_merge) emitted to the tracer's sink at request
+	// end. The trace ID is echoed in the
 	// X-Schedd-Trace response header — never in the body, so cache hits stay
 	// byte-identical. A nil Tracer costs nothing (no span objects, no clock
 	// reads).
@@ -118,14 +125,16 @@ type Server struct {
 	flightMu sync.Mutex
 	flights  map[string]*flight
 
-	mRequests  *obs.Counter
-	mHits      *obs.Counter
-	mMisses    *obs.Counter
-	mCoalesced *obs.Counter
-	mShed      *obs.Counter
-	mTimeouts  *obs.Counter
-	mErrors    *obs.Counter
-	mPanics    *obs.Counter
+	mRequests   *obs.Counter
+	mHits       *obs.Counter
+	mMisses     *obs.Counter
+	mCoalesced  *obs.Counter
+	mShed       *obs.Counter
+	mTimeouts   *obs.Counter
+	mErrors     *obs.Counter
+	mPanics     *obs.Counter
+	mBatches    *obs.Counter
+	mBatchItems *obs.Counter
 	// Per-outcome response counters. Every scheduling arrival resolves to
 	// exactly one of these, so requests_total == 2xx+4xx+5xx always — the
 	// conservation invariant the chaos harness checks after every run.
@@ -208,19 +217,21 @@ func NewServer(opts Options) *Server {
 		flights: make(map[string]*flight),
 		lim:     lim,
 
-		mRequests:  reg.Counter("serve.requests_total"),
-		mHits:      reg.Counter("serve.cache_hits"),
-		mMisses:    reg.Counter("serve.cache_misses"),
-		mCoalesced: reg.Counter("serve.coalesced_total"),
-		mShed:      reg.Counter("serve.shed_total"),
-		mTimeouts:  reg.Counter("serve.timeouts_total"),
-		mErrors:    reg.Counter("serve.errors_total"),
-		mPanics:    reg.Counter("serve.panics_total"),
-		m2xx:       reg.Counter("serve.responses_2xx"),
-		m4xx:       reg.Counter("serve.responses_4xx"),
-		m5xx:       reg.Counter("serve.responses_5xx"),
-		gQueue:     reg.Gauge("serve.queue_depth"),
-		gInflight:  reg.Gauge("serve.inflight"),
+		mRequests:   reg.Counter("serve.requests_total"),
+		mHits:       reg.Counter("serve.cache_hits"),
+		mMisses:     reg.Counter("serve.cache_misses"),
+		mCoalesced:  reg.Counter("serve.coalesced_total"),
+		mShed:       reg.Counter("serve.shed_total"),
+		mTimeouts:   reg.Counter("serve.timeouts_total"),
+		mErrors:     reg.Counter("serve.errors_total"),
+		mPanics:     reg.Counter("serve.panics_total"),
+		mBatches:    reg.Counter("serve.batch_requests_total"),
+		mBatchItems: reg.Counter("serve.batch_items_total"),
+		m2xx:        reg.Counter("serve.responses_2xx"),
+		m4xx:        reg.Counter("serve.responses_4xx"),
+		m5xx:        reg.Counter("serve.responses_5xx"),
+		gQueue:      reg.Gauge("serve.queue_depth"),
+		gInflight:   reg.Gauge("serve.inflight"),
 		// Latency is wall-clock and observational only.
 		hLatency: reg.Histogram("serve.latency_ms", 0, 1000, 50),
 	}
@@ -234,6 +245,7 @@ func NewServer(opts Options) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc(string(endpointMap), s.handleSchedule(endpointMap))
 	s.mux.HandleFunc(string(endpointIterate), s.handleSchedule(endpointIterate))
+	s.mux.HandleFunc(string(endpointBatch), s.handleBatch)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metricz", s.handleMetricz)
 	s.mux.HandleFunc("/statusz", s.handleStatusz)
@@ -245,7 +257,7 @@ func NewServer(opts Options) *Server {
 }
 
 // Handler returns the service's HTTP handler: POST /v1/map, POST
-// /v1/iterate, GET /healthz, GET /metricz, GET /statusz.
+// /v1/iterate, POST /v1/batch, GET /healthz, GET /metricz, GET /statusz.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics returns the server's metrics registry.
@@ -319,7 +331,7 @@ func (s *Server) worker() {
 		}
 		body, err := s.computeJob(j)
 		if err == nil && s.cache != nil {
-			s.cache.add(j.p.key, body)
+			s.cache.add(j.p.key, body, metaOf(j.p))
 		}
 		j.done <- jobResult{body: body, err: err}
 	}
@@ -451,23 +463,41 @@ func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 			return
 		}
 		defer s.endRequest()
+		sc := getScratch()
+		defer putScratch(sc)
 		sp := tr.Start("decode")
-		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
-		if err != nil {
-			aerr := badRequest("reading body: %v", err)
-			var mbe *http.MaxBytesError
-			if errors.As(err, &mbe) {
-				aerr = &apiError{
-					status: http.StatusRequestEntityTooLarge,
-					code:   CodePayloadTooLarge,
-					msg:    fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
-				}
-			}
+		body, aerr := s.readBody(w, r, sc)
+		if aerr != nil {
 			sp.SetErr(aerr.code)
 			sp.End()
 			s.writeError(w, aerr, tr)
 			s.observe(ep, aerr.status, "", nil, start, tr)
 			return
+		}
+		// Raw fast path: the exact bytes of this body were seen before and
+		// parsed to a cached canonical key, so the response is served with
+		// one map lookup — no JSON decode, no validation walk, no canonical
+		// key build. The entry's stored request summary keeps the access-log
+		// record complete.
+		var rawKey []byte
+		if s.cache != nil {
+			rawKey = sc.rawSingletonKey(ep, body)
+			if cached, canonKey, meta, ok := s.cache.getRaw(rawKey); ok {
+				sp.End()
+				// Same canonical key, same deterministic trace identity as
+				// the parse path would derive.
+				tr.SetKey(canonKey)
+				csp := tr.Start("cache_lookup")
+				csp.SetCache("hit")
+				csp.End()
+				s.mHits.Inc()
+				s.writeBody(w, cached, "hit", tr)
+				s.observeInfo(ep, http.StatusOK, "hit", reqInfo{
+					heuristic: meta.heuristic, seed: meta.seed,
+					tasks: meta.tasks, machines: meta.machines, has: true,
+				}, start, tr)
+				return
+			}
 		}
 		rq, aerr := decodeRequest(body)
 		if aerr != nil {
@@ -491,99 +521,207 @@ func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 		// The canonical key exists now; fold it into the trace identity so
 		// the ID is deterministic in the request content.
 		tr.SetKey(p.key)
-		if s.cache != nil {
-			sp = tr.Start("cache_lookup")
-			cached, ok := s.cache.get(p.key)
-			if ok {
-				sp.SetCache("hit")
-			} else {
-				sp.SetCache("miss")
-			}
-			sp.End()
-			if ok {
-				s.mHits.Inc()
-				s.writeBody(w, cached, "hit", tr)
-				s.observe(ep, http.StatusOK, "hit", p, start, tr)
-				return
-			}
-		}
-		timeout := s.opts.RequestTimeout
-		if t := time.Duration(p.req.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
-			timeout = t
-		}
-		ctx, cancel := context.WithTimeout(r.Context(), timeout)
-		defer cancel()
-
-		f, leader := s.joinFlight(p.key)
-		if !leader {
-			// A concurrent identical request is already computing: wait for
-			// its bytes instead of queueing a duplicate job.
-			s.mCoalesced.Inc()
-			sp = tr.Start("coalesce_wait")
-			select {
-			case <-f.done:
-				sp.End()
-				if f.err != nil {
-					if f.err.status == http.StatusGatewayTimeout {
-						s.mTimeouts.Inc()
-					}
-					s.writeError(w, f.err, tr)
-					s.observe(ep, f.err.status, "coalesced", p, start, tr)
-					return
-				}
-				s.writeBody(w, f.body, "coalesced", tr)
-				s.observe(ep, http.StatusOK, "coalesced", p, start, tr)
-			case <-ctx.Done():
-				sp.SetErr(CodeDeadlineExceeded)
-				sp.End()
-				s.mTimeouts.Inc()
-				s.writeError(w, timeoutError(), tr)
-				s.observe(ep, http.StatusGatewayTimeout, "", p, start, tr)
-			}
-			return
-		}
-		s.mMisses.Inc()
-		j := &job{ctx: ctx, p: p, done: make(chan jobResult, 1), tr: tr}
-		j.qspan = tr.Start("queue_wait")
-		s.gQueue.Set(float64(s.queued.Add(1)))
-		select {
-		case s.queue <- j:
-		default:
-			s.gQueue.Set(float64(s.queued.Add(-1)))
-			s.mShed.Inc()
-			j.qspan.SetErr(CodeOverloaded)
-			j.qspan.End()
-			aerr := &apiError{status: http.StatusTooManyRequests, code: CodeOverloaded, msg: "queue full", retryAfterSec: 1}
-			s.resolveFlight(p.key, f, nil, aerr)
+		body2, state, aerr := s.resolve(r.Context(), p, tr)
+		if aerr != nil {
 			s.writeError(w, aerr, tr)
-			s.observe(ep, http.StatusTooManyRequests, "", p, start, tr)
+			s.observe(ep, aerr.status, state, p, start, tr)
 			return
 		}
+		if s.cache != nil {
+			// Register this body's exact bytes as a raw alias of the entry
+			// the resolution touched (or just created), so the next repeat
+			// takes the fast path. No-ops when the entry is gone.
+			s.cache.alias(rawKey, p.key)
+		}
+		s.writeBody(w, body2, state, tr)
+		s.observe(ep, http.StatusOK, state, p, start, tr)
+	}
+}
+
+// resolve obtains the response bytes for a parsed request: canonical cache
+// lookup, joining an identical in-flight computation, or queueing for a
+// worker under the request deadline. It returns the body and cache state
+// ("hit", "miss" or "coalesced") on success; on failure the state is what
+// the access-log record should carry ("coalesced" when a coalesced leader
+// failed, else empty). All cache/flight/queue counters — including
+// timeouts — are accounted here, exactly as the inline paths did.
+func (s *Server) resolve(rctx context.Context, p *parsedRequest, tr *obs.Trace) ([]byte, string, *apiError) {
+	if s.cache != nil {
+		sp := tr.Start("cache_lookup")
+		cached, ok := s.cache.get(p.key)
+		if ok {
+			sp.SetCache("hit")
+		} else {
+			sp.SetCache("miss")
+		}
+		sp.End()
+		if ok {
+			s.mHits.Inc()
+			return cached, "hit", nil
+		}
+	}
+	timeout := s.opts.RequestTimeout
+	if t := time.Duration(p.req.TimeoutMS) * time.Millisecond; t > 0 && t < timeout {
+		timeout = t
+	}
+	ctx, cancel := context.WithTimeout(rctx, timeout)
+	defer cancel()
+
+	f, leader := s.joinFlight(p.key)
+	if !leader {
+		// A concurrent identical request is already computing: wait for
+		// its bytes instead of queueing a duplicate job.
+		s.mCoalesced.Inc()
+		sp := tr.Start("coalesce_wait")
 		select {
-		case res := <-j.done:
-			s.resolveFlight(p.key, f, res.body, res.err)
-			if res.err != nil {
-				if res.err.status == http.StatusGatewayTimeout {
+		case <-f.done:
+			sp.End()
+			if f.err != nil {
+				if f.err.status == http.StatusGatewayTimeout {
 					s.mTimeouts.Inc()
 				}
-				s.writeError(w, res.err, tr)
-				s.observe(ep, res.err.status, "", p, start, tr)
-				return
+				return nil, "coalesced", f.err
 			}
-			s.writeBody(w, res.body, "miss", tr)
-			s.observe(ep, http.StatusOK, "miss", p, start, tr)
+			return f.body, "coalesced", nil
 		case <-ctx.Done():
-			// The job stays queued; a worker will discard it. Its response
-			// was never produced, so determinism is untouched. Followers see
-			// the same timeout (their own deadlines are no longer than the
-			// work they were waiting on). Any span the job still holds open
-			// (queue_wait, or compute in a worker that outlives us) is
-			// force-closed as Unfinished by observe's Finish.
+			sp.SetErr(CodeDeadlineExceeded)
+			sp.End()
 			s.mTimeouts.Inc()
-			aerr := timeoutError()
-			s.resolveFlight(p.key, f, nil, aerr)
-			s.writeError(w, aerr, tr)
-			s.observe(ep, http.StatusGatewayTimeout, "", p, start, tr)
+			return nil, "", timeoutError()
+		}
+	}
+	s.mMisses.Inc()
+	j := &job{ctx: ctx, p: p, done: make(chan jobResult, 1), tr: tr}
+	j.qspan = tr.Start("queue_wait")
+	s.gQueue.Set(float64(s.queued.Add(1)))
+	select {
+	case s.queue <- j:
+	default:
+		s.gQueue.Set(float64(s.queued.Add(-1)))
+		s.mShed.Inc()
+		j.qspan.SetErr(CodeOverloaded)
+		j.qspan.End()
+		aerr := &apiError{status: http.StatusTooManyRequests, code: CodeOverloaded, msg: "queue full", retryAfterSec: 1}
+		s.resolveFlight(p.key, f, nil, aerr)
+		return nil, "", aerr
+	}
+	select {
+	case res := <-j.done:
+		s.resolveFlight(p.key, f, res.body, res.err)
+		if res.err != nil {
+			if res.err.status == http.StatusGatewayTimeout {
+				s.mTimeouts.Inc()
+			}
+			return nil, "", res.err
+		}
+		return res.body, "miss", nil
+	case <-ctx.Done():
+		// The job stays queued; a worker will discard it. Its response
+		// was never produced, so determinism is untouched. Followers see
+		// the same timeout (their own deadlines are no longer than the
+		// work they were waiting on). Any span the job still holds open
+		// (queue_wait, or compute in a worker that outlives us) is
+		// force-closed as Unfinished by the caller's Finish.
+		s.mTimeouts.Inc()
+		aerr := timeoutError()
+		s.resolveFlight(p.key, f, nil, aerr)
+		return nil, "", aerr
+	}
+}
+
+// metaOf summarizes a parsed request for storage beside its cached body.
+func metaOf(p *parsedRequest) entryMeta {
+	return entryMeta{
+		heuristic: p.req.Heuristic,
+		seed:      p.req.Seed,
+		tasks:     p.in.Tasks(),
+		machines:  p.in.Machines(),
+	}
+}
+
+// reqScratch is the pooled per-request scratch: the body read buffer and the
+// raw-key build buffer. Nothing that outlives the handler may alias either
+// buffer — decode copies what it keeps, the cache copies alias keys, and
+// cached bodies are cache-owned — so returning the scratch to the pool at
+// handler exit is safe (the -race aliasing hammer in serve_race_test.go
+// exercises exactly this).
+type reqScratch struct {
+	buf []byte
+	key []byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return &reqScratch{buf: make([]byte, 0, 4096)} }}
+
+func getScratch() *reqScratch   { return scratchPool.Get().(*reqScratch) }
+func putScratch(sc *reqScratch) { scratchPool.Put(sc) }
+
+// rawSingletonKey builds the raw-alias lookup key for a whole singleton
+// body in the scratch's key buffer: namespace byte, endpoint, body.
+func (sc *reqScratch) rawSingletonKey(ep endpoint, body []byte) []byte {
+	k := append(sc.key[:0], rawKeySingleton, rawKeySeparator)
+	k = append(k, string(ep)...)
+	k = append(k, rawKeySeparator)
+	k = append(k, body...)
+	sc.key = k
+	return k
+}
+
+// rawBatchItemKey builds the raw-alias lookup key for one batch item's
+// exact byte extent (the item embeds its endpoint, so the bytes are
+// self-disambiguating). A fresh buffer per item: batch items resolve
+// concurrently and alias registration happens after the handler's scratch
+// may already be rebuilding.
+func rawBatchItemKey(item []byte) []byte {
+	k := make([]byte, 0, len(item)+2)
+	k = append(k, rawKeyBatchItem, rawKeySeparator)
+	return append(k, item...)
+}
+
+// rawEnvelopeKey builds the whole-batch raw key (namespace byte plus the
+// exact batch body) in the scratch's key buffer.
+func (sc *reqScratch) rawEnvelopeKey(body []byte) []byte {
+	k := append(sc.key[:0], rawKeyBatchEnv, rawKeySeparator)
+	k = append(k, body...)
+	sc.key = k
+	return k
+}
+
+// rawEnvelopeKeyCopy is rawEnvelopeKey as a durable string, used as the
+// canonical cache key of a stored batch envelope.
+func rawEnvelopeKeyCopy(body []byte) string {
+	k := make([]byte, 0, len(body)+2)
+	k = append(k, rawKeyBatchEnv, rawKeySeparator)
+	return string(append(k, body...))
+}
+
+// readBody reads the request body into the pooled scratch buffer under the
+// MaxBodyBytes limit — io.ReadAll without the per-request allocation. The
+// returned slice aliases the scratch and is valid only inside the handler.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request, sc *reqScratch) ([]byte, *apiError) {
+	rd := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	buf := sc.buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := rd.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			sc.buf = buf
+			return buf, nil
+		}
+		if err != nil {
+			sc.buf = buf
+			aerr := badRequest("reading body: %v", err)
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				aerr = &apiError{
+					status: http.StatusRequestEntityTooLarge,
+					code:   CodePayloadTooLarge,
+					msg:    fmt.Sprintf("request body exceeds %d bytes", mbe.Limit),
+				}
+			}
+			return nil, aerr
 		}
 	}
 }
@@ -744,16 +882,34 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 // stay byte-identical however the bytes were obtained.
 const TraceHeader = "X-Schedd-Trace"
 
+// Preallocated header value slices: Header().Set allocates a fresh
+// []string per call, which is most of what a cache hit would spend. The
+// keys are already in canonical MIME form, and the shared slices are never
+// mutated downstream (net/http and httptest read them only).
+var (
+	headerJSON       = []string{"application/json"}
+	headerCacheState = map[string][]string{
+		"hit":       {"hit"},
+		"miss":      {"miss"},
+		"coalesced": {"coalesced"},
+	}
+)
+
 // writeBody writes a 200 scheduling response. cacheState ("hit", "miss" or
 // "coalesced") goes in the X-Schedd-Cache header: headers may differ by how
 // the bytes were obtained, bodies never do. The write itself is the trace's
 // "write" stage.
 func (s *Server) writeBody(w http.ResponseWriter, body []byte, cacheState string, tr *obs.Trace) {
 	sp := tr.Start("write")
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Schedd-Cache", cacheState)
+	h := w.Header()
+	h["Content-Type"] = headerJSON
+	if v, ok := headerCacheState[cacheState]; ok {
+		h["X-Schedd-Cache"] = v
+	} else {
+		h["X-Schedd-Cache"] = []string{cacheState}
+	}
 	if id := tr.ID(); id != "" {
-		w.Header().Set(TraceHeader, id)
+		h.Set(TraceHeader, id)
 	}
 	w.Write(body)
 	sp.End()
@@ -775,29 +931,50 @@ func (s *Server) writeError(w http.ResponseWriter, aerr *apiError, tr *obs.Trace
 	if aerr.retryAfterSec > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(aerr.retryAfterSec))
 	}
-	code := aerr.code
-	if code == "" { // defensive: every constructor sets one
-		code = CodeInternal
-	}
 	w.Header().Set("Content-Type", "application/json")
 	if id := tr.ID(); id != "" {
 		w.Header().Set(TraceHeader, id)
 	}
 	w.WriteHeader(aerr.status)
-	body, _ := json.Marshal(ErrorResponse{Error: ErrorDetail{Code: code, Message: aerr.msg, Fields: aerr.fields}})
-	w.Write(append(body, '\n'))
+	// The envelope bytes are shared with batch item results (errorEnvelope)
+	// so the two can never drift.
+	w.Write(append(errorEnvelope(aerr), '\n'))
 	sp.End()
+}
+
+// reqInfo carries the request summary for the access-log record without
+// requiring a parsedRequest: the raw fast path fills it from the cache
+// entry's metadata, the batch handler from its item count. Passed by value
+// so the hit path stays allocation-free.
+type reqInfo struct {
+	heuristic string
+	seed      uint64
+	tasks     int
+	machines  int
+	items     int
+	has       bool // request-shape fields are meaningful
 }
 
 // observe folds the request into the latency histogram, emits the
 // request_done access-log event when an Observer is configured, and
-// finishes the request's trace. All wall-clock readings stay on this
-// observational path. It runs exactly once per scheduling arrival — which
-// is what makes both the counter conservation invariant and the one-root-
-// span-per-request invariant hold.
+// finishes the request's trace (parsedRequest-shaped convenience over
+// observeInfo).
 func (s *Server) observe(ep endpoint, status int, cacheState string, p *parsedRequest, start time.Time, tr *obs.Trace) {
-	// Outcome accounting first: observe runs exactly once per scheduling
-	// arrival, which is what makes requests_total == 2xx+4xx+5xx hold.
+	var info reqInfo
+	if p != nil {
+		info = reqInfo{heuristic: p.req.Heuristic, seed: p.req.Seed,
+			tasks: p.in.Tasks(), machines: p.in.Machines(), has: true}
+	}
+	s.observeInfo(ep, status, cacheState, info, start, tr)
+}
+
+// observeInfo is the single request epilogue. All wall-clock readings stay
+// on this observational path. It runs exactly once per scheduling arrival —
+// which is what makes both the counter conservation invariant
+// (requests_total == 2xx+4xx+5xx) and the one-root-span-per-request
+// invariant hold.
+func (s *Server) observeInfo(ep endpoint, status int, cacheState string, info reqInfo, start time.Time, tr *obs.Trace) {
+	// Outcome accounting first: exactly once per scheduling arrival.
 	switch {
 	case status < 300:
 		s.m2xx.Inc()
@@ -815,12 +992,13 @@ func (s *Server) observe(ep endpoint, status int, cacheState string, p *parsedRe
 			Cache:     cacheState,
 			TraceID:   tr.ID(),
 			ElapsedNS: elapsed.Nanoseconds(),
+			Items:     info.items,
 		}
-		if p != nil {
-			ev.Heuristic = p.req.Heuristic
-			ev.Seed = p.req.Seed
-			ev.Tasks = p.in.Tasks()
-			ev.Machines = p.in.Machines()
+		if info.has {
+			ev.Heuristic = info.heuristic
+			ev.Seed = info.seed
+			ev.Tasks = info.tasks
+			ev.Machines = info.machines
 		}
 		s.opts.Observer.Observe(ev)
 	}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestConcurrentPooledScratchNoAliasing is the aliasing hammer for the
+// pooled serve-path buffers (request scratch, raw-key buffers, envelope
+// assembly): many goroutines fire a seeded random mix of hits, misses,
+// coalesced requests and batches at one server with a deliberately tiny
+// cache (constant eviction and alias churn), and every response body must
+// be byte-identical to an isolated reference server's answer. A pooled
+// buffer leaking into a response another request can still see shows up
+// here as a body mismatch — and under -race (the mode scripts/check.sh
+// runs this in) as a data race on the shared backing array.
+func TestConcurrentPooledScratchNoAliasing(t *testing.T) {
+	s := NewServer(Options{CacheEntries: 8, QueueDepth: 256})
+	defer drain(t, s)
+	ref := NewServer(Options{})
+	defer drain(t, ref)
+
+	type reqCase struct{ path, body string }
+	var cases []reqCase
+	for seed := uint64(1); seed <= 10; seed++ {
+		cases = append(cases, reqCase{"/v1/iterate", iterateBody("min-min", "random", seed)})
+	}
+	cases = append(cases,
+		reqCase{"/v1/map", `{"etc":[[4,9,9],[9,2,2],[9,9,3]],"heuristic":"min-min"}`},
+		reqCase{"/v1/map", `{"etc":[[4,9,9],[9,2,2],[9,9,3]],"heuristic":"max-min"}`},
+	)
+	want := make([]string, len(cases))
+	for i, c := range cases {
+		rec := post(ref, c.path, c.body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("reference %s: status %d: %s", c.path, rec.Code, rec.Body.String())
+		}
+		want[i] = rec.Body.String()
+	}
+
+	const goroutines = 8
+	const iters = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := rng.New(uint64(g) + 1)
+			for i := 0; i < iters; i++ {
+				if src.Intn(4) == 0 {
+					// A batch of 2-4 random items, each checked against its
+					// reference bytes.
+					n := 2 + src.Intn(3)
+					picks := make([]int, n)
+					items := make([]string, n)
+					for j := range picks {
+						picks[j] = src.Intn(len(cases))
+						ep := strings.TrimPrefix(cases[picks[j]].path, "/v1/")
+						items[j] = batchItemJSON(ep, cases[picks[j]].body)
+					}
+					rec := post(s, "/v1/batch", batchBody(items...))
+					if rec.Code != http.StatusOK {
+						errs <- fmt.Errorf("batch status %d: %s", rec.Code, rec.Body.String())
+						return
+					}
+					var br BatchResponse
+					if err := json.Unmarshal(rec.Body.Bytes(), &br); err != nil {
+						errs <- fmt.Errorf("batch envelope: %v", err)
+						return
+					}
+					for j, res := range br.Results {
+						if res.Status != http.StatusOK {
+							errs <- fmt.Errorf("batch item status %d: %s", res.Status, res.Body)
+							return
+						}
+						if string(res.Body) != strings.TrimSuffix(want[picks[j]], "\n") {
+							errs <- fmt.Errorf("batch item body aliased/corrupted:\n got %s\nwant %s", res.Body, want[picks[j]])
+							return
+						}
+					}
+				} else {
+					pick := src.Intn(len(cases))
+					rec := post(s, cases[pick].path, cases[pick].body)
+					if rec.Code != http.StatusOK {
+						errs <- fmt.Errorf("status %d: %s", rec.Code, rec.Body.String())
+						return
+					}
+					if rec.Body.String() != want[pick] {
+						errs <- fmt.Errorf("body aliased/corrupted:\n got %s\nwant %s", rec.Body.String(), want[pick])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,23 +1,26 @@
 #!/usr/bin/env bash
-# Compare the last two records in BENCH_1.json and flag ns/op regressions on
-# the batch-heuristic benchmarks. Pure bash + awk, no dependencies.
+# Compare the last two records in BENCH_1.json and flag regressions on the
+# hot-path benchmarks — both ns/op and allocs/op. Pure bash + awk, no
+# dependencies.
 #
 # Usage:
 #
 #   scripts/benchdiff.sh [file]          # file defaults to BENCH_1.json
 #   THRESHOLD=10 scripts/benchdiff.sh    # custom regression threshold (%)
-#   PATTERN='.' scripts/benchdiff.sh     # gate every benchmark, not just batch
+#   PATTERN='.' scripts/benchdiff.sh     # gate every benchmark, not just hot paths
 #
 # Prints a before/after table for every benchmark present in both records
 # whose name matches PATTERN, and exits 1 if any matched benchmark's ns/op
-# regressed by more than THRESHOLD percent (default 20). The default PATTERN
-# covers the batch-heuristic hot paths this repo's perf work targets.
+# OR allocs/op regressed by more than THRESHOLD percent (default 20); the
+# failure message names each offending benchmark and which metric moved.
+# The default PATTERN covers the batch-heuristic kernels and the serving
+# fast paths (raw-alias cache hits, /v1/batch) this repo's perf work targets.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 file="${1:-BENCH_1.json}"
 threshold="${THRESHOLD:-20}"
-pattern="${PATTERN:-min-min|max-min|duplex|sufferage|minmin|BatchKernel}"
+pattern="${PATTERN:-min-min|max-min|duplex|sufferage|minmin|BatchKernel|ParallelKernel|Serve}"
 
 if [ ! -f "$file" ]; then
     echo "benchdiff: $file not found" >&2
@@ -33,12 +36,12 @@ tail -n 2 "$file" | awk -v threshold="$threshold" -v pattern="$pattern" '
 # layout: {"label":"...","utc":"...","go":"...","benchmarks":[
 # {"name":"...","ns_per_op":N,"allocs_per_op":M},...]}. Parse by scanning
 # the benchmark objects; no general JSON machinery needed.
-function parse(line, ns, labels, rec,    rest, seg, name, val) {
+function parse(line, ns, al, labels, rec,    rest, seg, name, val) {
     if (match(line, /"label":"[^"]*"/)) {
         labels[rec] = substr(line, RSTART + 9, RLENGTH - 10)
     }
     rest = line
-    while (match(rest, /\{"name":"[^"]*","ns_per_op":[0-9.eE+-]+/)) {
+    while (match(rest, /\{"name":"[^"]*","ns_per_op":[0-9.eE+-]+,"allocs_per_op":[0-9.eE+-]+/)) {
         seg = substr(rest, RSTART, RLENGTH)
         rest = substr(rest, RSTART + RLENGTH)
         match(seg, /"name":"[^"]*"/)
@@ -46,37 +49,58 @@ function parse(line, ns, labels, rec,    rest, seg, name, val) {
         match(seg, /"ns_per_op":[0-9.eE+-]+/)
         val = substr(seg, RSTART + 12, RLENGTH - 12) + 0
         ns[rec "," name] = val
+        match(seg, /"allocs_per_op":[0-9.eE+-]+/)
+        val = substr(seg, RSTART + 16, RLENGTH - 16) + 0
+        al[rec "," name] = val
         names[name] = 1
     }
 }
+# pct returns the regression percentage new-vs-old, or 0 when the old value
+# is 0 (nothing to regress from in relative terms; a 0 -> N allocs jump is
+# still visible in the table).
+function pct(o, n) { return o == 0 ? 0 : (n - o) * 100.0 / o }
 NR == 1 { old_line = $0 }
 NR == 2 { new_line = $0 }
 END {
-    parse(old_line, ns, labels, "old")
-    parse(new_line, ns, labels, "new")
+    parse(old_line, ns, al, labels, "old")
+    parse(new_line, ns, al, labels, "new")
     printf "benchdiff: %s -> %s (threshold %s%%, pattern %s)\n\n", \
         labels["old"], labels["new"], threshold, pattern
-    printf "%-52s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta"
+    printf "%-52s %12s %12s %8s %9s %9s %8s\n", "benchmark", \
+        "old ns/op", "new ns/op", "delta", "old al/op", "new al/op", "delta"
     regressions = 0
     compared = 0
+    offenders = ""
     for (name in names) {
         if (name !~ pattern) continue
         o = ns["old" "," name]; n = ns["new" "," name]
         if (o == "" || n == "" || o == 0) continue
+        oa = al["old" "," name]; na = al["new" "," name]
         compared++
-        delta = (n - o) * 100.0 / o
+        dns = pct(o, n)
+        dal = pct(oa, na)
         flag = ""
-        if (delta > threshold) { flag = "  REGRESSION"; regressions++ }
-        printf "%-52s %14.0f %14.0f %+8.1f%%%s\n", name, o, n, delta, flag
+        if (dns > threshold) {
+            flag = flag "  NS-REGRESSION"
+            offenders = offenders sprintf("\n  %s: ns/op %+.1f%% (%.0f -> %.0f)", name, dns, o, n)
+            regressions++
+        }
+        if (dal > threshold) {
+            flag = flag "  ALLOC-REGRESSION"
+            offenders = offenders sprintf("\n  %s: allocs/op %+.1f%% (%.0f -> %.0f)", name, dal, oa, na)
+            regressions++
+        }
+        printf "%-52s %12.0f %12.0f %+7.1f%% %9.0f %9.0f %+7.1f%%%s\n", \
+            name, o, n, dns, oa, na, dal, flag
     }
     if (compared == 0) {
         print "\nbenchdiff: no benchmark matched in both records" > "/dev/stderr"
         exit 2
     }
     if (regressions > 0) {
-        printf "\nbenchdiff: %d benchmark(s) regressed more than %s%% ns/op\n", \
-            regressions, threshold > "/dev/stderr"
+        printf "\nbenchdiff: %d regression(s) beyond %s%%:%s\n", \
+            regressions, threshold, offenders > "/dev/stderr"
         exit 1
     }
-    printf "\nbenchdiff: ok (%d benchmarks within %s%%)\n", compared, threshold
+    printf "\nbenchdiff: ok (%d benchmarks within %s%% on ns/op and allocs/op)\n", compared, threshold
 }'
