@@ -4,6 +4,11 @@
 // conservation, queue/in-flight quiescence, goroutine-leak freedom, legal
 // breaker transitions, panic accounting and full fault-free recovery.
 //
+// Cluster scenarios (internal/chaos RunCluster) drive a schedgw gateway
+// over several in-process backends through backend kills, rejoins and
+// fault storms, checking on top that every response stays byte-identical
+// to a single instance's and that routing obeys rendezvous order.
+//
 // Every scenario is seeded and replayed serially, so the verdict report is
 // byte-identical across runs of the same scenario and seed. The exit code
 // is the contract for CI: 0 only if every invariant of every selected
@@ -50,40 +55,74 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *list {
 		for _, sc := range chaos.Builtin() {
-			fmt.Fprintf(stdout, "%-16s seed %-3d %s\n", sc.Name, sc.Seed, sc.Description)
+			fmt.Fprintf(stdout, "%-20s seed %-3d %s\n", sc.Name, sc.Seed, sc.Description)
+		}
+		for _, sc := range chaos.BuiltinCluster() {
+			fmt.Fprintf(stdout, "%-20s seed %-3d [cluster, %d backends] %s\n", sc.Name, sc.Seed, sc.Backends, sc.Description)
 		}
 		return nil
 	}
 
-	var scenarios []chaos.Scenario
-	if *scenario == "all" {
-		scenarios = chaos.Builtin()
-	} else {
-		sc, err := chaos.ByName(*scenario)
-		if err != nil {
-			return err
-		}
-		scenarios = []chaos.Scenario{sc}
+	// Single-instance and cluster scenarios share the namespace and the
+	// report shape; a runnable pairs a scenario's header data with its
+	// harness entry point.
+	type runnable struct {
+		name, description string
+		seed              uint64
+		phases, requests  int
+		run               func() (*chaos.Report, error)
 	}
-	if *seed != 0 {
-		for i := range scenarios {
-			scenarios[i].Seed = *seed
-		}
-	}
-
-	var reports []*chaos.Report
-	failed := 0
-	for _, sc := range scenarios {
-		rep, err := chaos.Run(sc)
-		if err != nil {
-			return err
+	singleRunnable := func(sc chaos.Scenario) runnable {
+		if *seed != 0 {
+			sc.Seed = *seed
 		}
 		requests := 0
 		for _, ph := range sc.Phases {
 			requests += ph.Requests
 		}
+		return runnable{sc.Name, sc.Description, sc.Seed, len(sc.Phases), requests,
+			func() (*chaos.Report, error) { return chaos.Run(sc) }}
+	}
+	clusterRunnable := func(sc chaos.ClusterScenario) runnable {
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+		requests := 0
+		for _, ph := range sc.Phases {
+			requests += ph.Requests
+		}
+		return runnable{sc.Name, sc.Description, sc.Seed, len(sc.Phases), requests,
+			func() (*chaos.Report, error) { return chaos.RunCluster(sc) }}
+	}
+
+	var selected []runnable
+	switch {
+	case *scenario == "all":
+		for _, sc := range chaos.Builtin() {
+			selected = append(selected, singleRunnable(sc))
+		}
+		for _, sc := range chaos.BuiltinCluster() {
+			selected = append(selected, clusterRunnable(sc))
+		}
+	default:
+		if sc, err := chaos.ByName(*scenario); err == nil {
+			selected = []runnable{singleRunnable(sc)}
+		} else if csc, cerr := chaos.ClusterByName(*scenario); cerr == nil {
+			selected = []runnable{clusterRunnable(csc)}
+		} else {
+			return err
+		}
+	}
+
+	var reports []*chaos.Report
+	failed := 0
+	for _, r := range selected {
+		rep, err := r.run()
+		if err != nil {
+			return err
+		}
 		fmt.Fprintf(stdout, "schedchaos: scenario %s (seed %d): %d phases, %d requests — %s\n",
-			rep.Scenario, rep.Seed, len(sc.Phases), requests, sc.Description)
+			rep.Scenario, rep.Seed, r.phases, r.requests, r.description)
 		for _, inv := range rep.Invariants {
 			tag := "[ok  ]"
 			if !inv.OK {
@@ -115,9 +154,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if failed > 0 {
-		return fmt.Errorf("%d of %d scenario(s) violated invariants", failed, len(scenarios))
+		return fmt.Errorf("%d of %d scenario(s) violated invariants", failed, len(selected))
 	}
-	fmt.Fprintf(stdout, "schedchaos: %d scenario(s), every invariant ok\n", len(scenarios))
+	fmt.Fprintf(stdout, "schedchaos: %d scenario(s), every invariant ok\n", len(selected))
 	return nil
 }
 

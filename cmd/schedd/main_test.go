@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // TestSelfcheck runs the full end-to-end smoke in-process: ephemeral port,
@@ -159,5 +164,64 @@ func TestBadFlags(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "Usage") && !strings.Contains(stderr.String(), "-addr") {
 		t.Errorf("stderr missing usage text: %s", stderr.String())
+	}
+}
+
+// TestEphemeralAddr pins the embedding contract satellite tools (schedgw
+// -local, scripts, tests) rely on: `-addr 127.0.0.1:0` binds an ephemeral
+// port, the bound address is printed to stdout in the "listening on" line
+// before any request is served, the daemon answers on it, and SIGTERM
+// drains cleanly.
+func TestEphemeralAddr(t *testing.T) {
+	pr, pw := io.Pipe()
+	var stderr bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		err := run([]string{"-addr", "127.0.0.1:0"}, pw, &stderr)
+		pw.Close()
+		done <- err
+	}()
+
+	sc := bufio.NewScanner(pr)
+	base := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "schedd: listening on "); ok {
+			base = rest[:strings.Index(rest, " ")]
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listening line before stdout closed; stderr: %s", stderr.String())
+	}
+	if strings.HasSuffix(base, ":0") {
+		t.Fatalf("listening line still carries port 0: %q", base)
+	}
+	// Keep draining stdout so the daemon's drain messages never block.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("GET %s/healthz: %v", base, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM; stderr: %s", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain within 10s of SIGTERM")
 	}
 }

@@ -198,3 +198,84 @@ func TestFlagValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestBackendsSweep runs the capacity sweep at 1 and 2 in-process backends:
+// every request succeeds at every count and -verify proves the responses
+// byte-identical across counts.
+func TestBackendsSweep(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-backends", "1,2",
+		"-requests", "16", "-concurrency", "4",
+		"-tasks", "6", "-machines", "3", "-distinct", "3",
+		"-seed", "5",
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s\nstdout: %s", err, stderr.String(), stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"schedload: sweep 1 backend(s): 16 requests via gateway http://",
+		"schedload: sweep 2 backend(s): 16 requests via gateway http://",
+		"sweep: responses byte-identical across backend counts 1,2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "responses: 16 ok, 0 errors"); n != 2 {
+		t.Errorf("%d clean response lines, want 2:\n%s", n, out)
+	}
+}
+
+// TestBackendsSweepBatchMode sweeps with the stream grouped into /v1/batch
+// posts; per-item verify against singleton references must hold at each
+// count and across counts.
+func TestBackendsSweepBatchMode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-backends", "1,3",
+		"-requests", "12", "-batch", "5", "-concurrency", "2",
+		"-tasks", "5", "-machines", "2", "-distinct", "2",
+		"-seed", "9",
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run: %v\nstderr: %s\nstdout: %s", err, stderr.String(), stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"per-item latency ms: p50",
+		"sweep: responses byte-identical across backend counts 1,3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBackendsFlagValidation pins the sweep's flag grammar and conflicts.
+func TestBackendsFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"with addr", []string{"-backends", "1,2", "-addr", "x"}, "-addr"},
+		{"with faults", []string{"-backends", "1,2", "-faults", "drop=0.5"}, "-faults"},
+		{"zero count", []string{"-backends", "0"}, "bad count"},
+		{"junk count", []string{"-backends", "1,two"}, "bad count"},
+		{"negative count", []string{"-backends", "-1"}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			err := run(tc.args, &stdout, &stderr)
+			if err == nil {
+				t.Fatalf("args %v accepted", tc.args)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("args %v: err %q, want mention of %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}

@@ -187,7 +187,10 @@ var documentedCodes = map[string]bool{
 	serve.CodePanic:            true,
 	serve.CodeDraining:         true,
 	serve.CodeDeadlineExceeded: true,
-	"injected_fault":           true,
+	// The cluster gateway's only gateway-originated error code (see
+	// internal/cluster): every ranked backend unreachable.
+	serve.CodeUpstreamUnavailable: true,
+	"injected_fault":              true,
 }
 
 // legalBreakerEdges is the breaker's state machine: closed trips open, open

@@ -1,0 +1,96 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestClusterScenariosPass replays every builtin cluster scenario and
+// requires a clean verdict: the cluster-vs-singleton byte-identity,
+// routing, recovery and conservation invariants all hold.
+func TestClusterScenariosPass(t *testing.T) {
+	for _, sc := range BuiltinCluster() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := RunCluster(sc)
+			if err != nil {
+				t.Fatalf("RunCluster: %v", err)
+			}
+			for _, inv := range rep.Invariants {
+				if !inv.OK {
+					t.Errorf("invariant %s violated: %s", inv.Name, inv.Detail)
+				}
+			}
+			if !rep.Pass {
+				b, _ := rep.JSON()
+				t.Fatalf("scenario failed:\n%s", b)
+			}
+		})
+	}
+}
+
+// TestClusterReportDeterministic pins the replay promise: same scenario,
+// same seed, byte-identical verdict report.
+func TestClusterReportDeterministic(t *testing.T) {
+	sc, err := ClusterByName("backend-rejoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunCluster(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCluster(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("reports differ across identical runs:\n--- first\n%s\n--- second\n%s", aj, bj)
+	}
+}
+
+// TestClusterScenarioValidation covers the scenario validator.
+func TestClusterScenarioValidation(t *testing.T) {
+	base := func() ClusterScenario {
+		return ClusterScenario{
+			Name: "t", Seed: 1, Tasks: 4, Machines: 2, Distinct: 2, Backends: 2,
+			Phases: []ClusterPhase{{Name: "p", Requests: 1}},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*ClusterScenario)
+	}{
+		{"no name", func(sc *ClusterScenario) { sc.Name = "" }},
+		{"one backend", func(sc *ClusterScenario) { sc.Backends = 1 }},
+		{"no phases", func(sc *ClusterScenario) { sc.Phases = nil }},
+		{"zero requests", func(sc *ClusterScenario) { sc.Phases[0].Requests = 0 }},
+		{"pinned seed", func(sc *ClusterScenario) { sc.Phases[0].Faults = "seed=1,drop=0.5" }},
+		{"kill out of range", func(sc *ClusterScenario) { sc.Phases[0].Kill = []int{2} }},
+		{"revive out of range", func(sc *ClusterScenario) { sc.Phases[0].Revive = []int{-1} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := base()
+			tc.mutate(&sc)
+			if _, err := RunCluster(sc); err == nil {
+				t.Fatal("invalid scenario accepted")
+			}
+		})
+	}
+}
+
+// TestClusterByNameUnknown pins the error text's scenario listing.
+func TestClusterByNameUnknown(t *testing.T) {
+	if _, err := ClusterByName("nope"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

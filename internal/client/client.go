@@ -346,6 +346,23 @@ func retryAfter(resp *http.Response) time.Duration {
 	return time.Duration(secs) * time.Second
 }
 
+// BreakerState reports the circuit breaker's current state: "closed",
+// "open" or "half-open". Read-only — it never advances the breaker (an
+// expired cooldown still reads "open" until a request arrives to probe).
+// Callers like the gateway's /statusz use it to expose per-backend breaker
+// state without reaching into internals.
+func (c *Client) BreakerState() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return stateName(c.state)
+}
+
+// Retryable reports whether an HTTP status is worth retrying: overload
+// signals and transient server errors, not deterministic request errors.
+// Exported so callers layering their own failover (the cluster gateway)
+// classify statuses identically to the client's retry loop.
+func Retryable(status int) bool { return retryable(status) }
+
 // retryable reports whether an HTTP status is worth retrying: overload
 // signals and transient server errors, not deterministic request errors.
 func retryable(status int) bool {

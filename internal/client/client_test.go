@@ -431,3 +431,75 @@ func TestBreakerHalfOpenSingleProbe(t *testing.T) {
 		t.Fatalf("post-recovery request: %v %q", err, resp)
 	}
 }
+
+func TestBreakerStateReadout(t *testing.T) {
+	probeArrived := make(chan struct{})
+	release := make(chan struct{})
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch hits.Add(1) {
+		case 1:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 2:
+			close(probeArrived)
+			<-release
+			w.Write([]byte("ok"))
+		default:
+			w.Write([]byte("ok"))
+		}
+	}))
+	defer ts.Close()
+	c, ft := newTestClient(Options{MaxRetries: -1, BreakerThreshold: 1, BreakerCooldown: time.Second, Seed: 1})
+
+	if got := c.BreakerState(); got != "closed" {
+		t.Fatalf("fresh client BreakerState = %q, want closed", got)
+	}
+	if _, err := c.Post(context.Background(), ts.URL, nil); err == nil {
+		t.Fatal("want a failure to open the breaker")
+	}
+	if got := c.BreakerState(); got != "open" {
+		t.Fatalf("after threshold failures BreakerState = %q, want open", got)
+	}
+	// The accessor is read-only: an expired cooldown must not advance the
+	// breaker to half-open — only an admitted request does that.
+	ft.advance(2 * time.Second)
+	if got := c.BreakerState(); got != "open" {
+		t.Fatalf("after cooldown BreakerState = %q, want open (readout must not probe)", got)
+	}
+	probeDone := make(chan error, 1)
+	go func() {
+		_, err := c.Post(context.Background(), ts.URL, nil)
+		probeDone <- err
+	}()
+	<-probeArrived
+	if got := c.BreakerState(); got != "half-open" {
+		t.Fatalf("probe in flight BreakerState = %q, want half-open", got)
+	}
+	close(release)
+	if err := <-probeDone; err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if got := c.BreakerState(); got != "closed" {
+		t.Fatalf("after successful probe BreakerState = %q, want closed", got)
+	}
+}
+
+func TestRetryableExport(t *testing.T) {
+	for _, tc := range []struct {
+		status int
+		want   bool
+	}{
+		{http.StatusOK, false},
+		{http.StatusBadRequest, false},
+		{http.StatusUnprocessableEntity, false},
+		{http.StatusTooManyRequests, true},
+		{http.StatusInternalServerError, true},
+		{http.StatusBadGateway, true},
+		{http.StatusServiceUnavailable, true},
+		{http.StatusGatewayTimeout, true},
+	} {
+		if got := Retryable(tc.status); got != tc.want {
+			t.Fatalf("Retryable(%d) = %v, want %v", tc.status, got, tc.want)
+		}
+	}
+}

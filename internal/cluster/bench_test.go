@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/serve"
+)
+
+// benchCluster boots n backends and a gateway with keep-alives on (the
+// production transport shape); the caller drives gw.Handler() directly so
+// the numbers measure the gateway hop — route, forward over real loopback
+// HTTP, relay — not a load generator's client stack.
+func benchCluster(b *testing.B, n int) (*Gateway, func()) {
+	b.Helper()
+	local, err := StartLocal(n, serve.Options{Workers: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := NewGateway(Options{
+		Backends: local.Backends(),
+		Client: client.Options{
+			MaxRetries:       -1,
+			BreakerThreshold: -1,
+			Timeout:          5 * time.Second,
+			Seed:             1,
+		},
+	})
+	if err != nil {
+		local.Close()
+		b.Fatal(err)
+	}
+	return g, func() { local.Close() }
+}
+
+func benchPost(b *testing.B, h http.Handler, path, body string) {
+	b.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// BenchmarkGatewayHit measures the warm path — every request routes to the
+// owning backend's cache — across backend counts: the per-request cost of
+// horizontal scale when the cluster is steady.
+func BenchmarkGatewayHit(b *testing.B) {
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("backends-%d", n), func(b *testing.B) {
+			g, stop := benchCluster(b, n)
+			defer stop()
+			body := iterBody(1)
+			benchPost(b, g.Handler(), "/v1/iterate", body) // warm the owner's cache
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchPost(b, g.Handler(), "/v1/iterate", body)
+			}
+		})
+	}
+}
+
+// BenchmarkGatewayBatchHit measures the warm batch path: an 8-item batch is
+// split by key, fanned out, and merged back in input order on every op.
+func BenchmarkGatewayBatchHit(b *testing.B) {
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("backends-%d", n), func(b *testing.B) {
+			g, stop := benchCluster(b, n)
+			defer stop()
+			var items []string
+			for s := uint64(1); s <= 8; s++ {
+				items = append(items, fmt.Sprintf(`{"endpoint":"iterate","request":%s}`, iterBody(s)))
+			}
+			body := `{"items":[` + strings.Join(items, ",") + `]}`
+			benchPost(b, g.Handler(), "/v1/batch", body) // warm every owner
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchPost(b, g.Handler(), "/v1/batch", body)
+			}
+		})
+	}
+}

@@ -126,6 +126,35 @@ type RequestDone struct {
 // Kind implements Event.
 func (RequestDone) Kind() string { return "request_done" }
 
+// GatewayRoute is emitted by the cluster gateway (internal/cluster) once
+// per routed unit — one per singleton request, one per item of a batch
+// fan-out, in input order — before the request's RequestDone. It records
+// the routing decision so observers (and the chaos harness) can verify
+// routing stability and failover order without access to raw request keys.
+type GatewayRoute struct {
+	// Endpoint is the routed unit's path ("/v1/map", "/v1/iterate"); batch
+	// items carry the endpoint the item targets.
+	Endpoint string `json:"endpoint"`
+	// KeyHash is the 64-bit FNV-1a hash of the canonical routing key,
+	// rendered as 16 hex digits — enough to recompute the rendezvous
+	// ranking, never the key's raw bytes.
+	KeyHash string `json:"key_hash"`
+	// Primary is the rendezvous owner for the key; Served is the backend
+	// that actually answered (== Primary unless failover occurred).
+	Primary string `json:"primary"`
+	Served  string `json:"served,omitempty"`
+	// Failovers counts backends tried and abandoned before Served answered
+	// (0 on the happy path; equal to the backend count when no backend was
+	// reachable and Served is empty).
+	Failovers int `json:"failovers,omitempty"`
+	// Items is the item count of the sub-batch this routing decision
+	// dispatched; zero for singleton requests.
+	Items int `json:"items,omitempty"`
+}
+
+// Kind implements Event.
+func (GatewayRoute) Kind() string { return "gateway_route" }
+
 // PanicRecovered is emitted by the serving layer when per-request panic
 // isolation catches a panic on the request path: the worker (or handler)
 // survives, the client receives a structured 500 envelope, and this event

@@ -125,6 +125,10 @@ const (
 	CodePanic            = "panic"              // 500: request-path panic, recovered
 	CodeDraining         = "draining"           // 503: server draining, request refused
 	CodeDeadlineExceeded = "deadline_exceeded"  // 504: request deadline expired
+	// CodeUpstreamUnavailable is emitted by the cluster gateway (cmd/schedgw)
+	// when every ranked backend for a key is unreachable; single instances
+	// never produce it.
+	CodeUpstreamUnavailable = "upstream_unavailable" // 503: gateway: no backend reachable
 )
 
 // apiError pairs an HTTP status with a stable error code and client-facing

@@ -5,13 +5,17 @@
 #   gofmt clean, go vet, build, full test suite, paper self-check, the
 #   schedd serving smoke (ephemeral port, pinned Table-1 trace, cache
 #   byte-identity, span-tree trace leg, fault-injected recovery, panic
-#   isolation, chaos leg, graceful drain), the schedchaos scenario sweep
-#   (every builtin phased fault scenario, every invariant) and the tracing
-#   leg (schedd -trace-out span stream analyzed by schedtrace -counts,
-#   pinned against scripts/testdata/trace_counts.golden). The -race leg
-#   covers internal/serve's concurrency tests plus the resilience layer
-#   (internal/faults, internal/client), the chaos harness and the daemons'
-#   end-to-end tests.
+#   isolation, chaos leg, graceful drain), the schedgw cluster smoke
+#   (3 local backends, cluster-vs-singleton byte-identity, batch
+#   split/merge, kill/failover/revive, cluster chaos, drain), the
+#   schedchaos scenario sweep (every builtin phased fault scenario,
+#   single-instance and cluster, every invariant) and the tracing legs
+#   (schedd/schedgw -trace-out span streams analyzed by schedtrace
+#   -counts, pinned against scripts/testdata/trace_counts.golden and
+#   gateway_trace_counts.golden). The -race leg covers internal/serve's
+#   concurrency tests plus the resilience layer (internal/faults,
+#   internal/client), the cluster gateway, the chaos harness and the
+#   daemons' end-to-end tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,5 +55,14 @@ go run ./cmd/schedtrace -counts "$tmp/spans.jsonl" >"$tmp/trace_counts.txt"
 diff -u scripts/testdata/trace_counts.golden "$tmp/trace_counts.txt"
 echo "[ok  ] schedd -trace-out span stream matches the schedtrace golden"
 
+go run ./cmd/schedgw -selfcheck -trace-out "$tmp/gwspans.jsonl" >/dev/null
+echo "[ok  ] schedgw selfcheck"
+
+# Same determinism contract for the gateway's span stream: route,
+# backend_wait, batch_merge and write stage counts are pinned.
+go run ./cmd/schedtrace -counts "$tmp/gwspans.jsonl" >"$tmp/gateway_trace_counts.txt"
+diff -u scripts/testdata/gateway_trace_counts.golden "$tmp/gateway_trace_counts.txt"
+echo "[ok  ] schedgw -trace-out span stream matches the schedtrace golden"
+
 go run ./cmd/schedchaos >/dev/null
-echo "[ok  ] schedchaos scenarios"
+echo "[ok  ] schedchaos scenarios (single-instance + cluster)"
