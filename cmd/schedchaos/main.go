@@ -60,6 +60,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		for _, sc := range chaos.BuiltinCluster() {
 			fmt.Fprintf(stdout, "%-20s seed %-3d [cluster, %d backends] %s\n", sc.Name, sc.Seed, sc.Backends, sc.Description)
 		}
+		for _, sc := range chaos.BuiltinRestart() {
+			fmt.Fprintf(stdout, "%-20s seed %-3d [restart, disk tier] %s\n", sc.Name, sc.Seed, sc.Description)
+		}
 		return nil
 	}
 
@@ -94,6 +97,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return runnable{sc.Name, sc.Description, sc.Seed, len(sc.Phases), requests,
 			func() (*chaos.Report, error) { return chaos.RunCluster(sc) }}
 	}
+	restartRunnable := func(sc chaos.RestartScenario) runnable {
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+		// Two lifetimes of miss+replay over the distinct bodies.
+		return runnable{sc.Name, sc.Description, sc.Seed, 2, 4 * sc.Distinct,
+			func() (*chaos.Report, error) { return chaos.RunRestart(sc) }}
+	}
 
 	var selected []runnable
 	switch {
@@ -104,11 +115,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		for _, sc := range chaos.BuiltinCluster() {
 			selected = append(selected, clusterRunnable(sc))
 		}
+		for _, sc := range chaos.BuiltinRestart() {
+			selected = append(selected, restartRunnable(sc))
+		}
 	default:
 		if sc, err := chaos.ByName(*scenario); err == nil {
 			selected = []runnable{singleRunnable(sc)}
 		} else if csc, cerr := chaos.ClusterByName(*scenario); cerr == nil {
 			selected = []runnable{clusterRunnable(csc)}
+		} else if rsc, rerr := chaos.RestartByName(*scenario); rerr == nil {
+			selected = []runnable{restartRunnable(rsc)}
 		} else {
 			return err
 		}

@@ -8,6 +8,7 @@
 //	schedd [-addr 127.0.0.1:8080] [-queue 64] [-workers N] [-cache 256]
 //	       [-timeout 5s] [-drain-timeout 10s] [-access-log requests.jsonl]
 //	       [-trace-out spans.jsonl] [-pprof 127.0.0.1:6060] [-fault-inject spec]
+//	       [-store dir]
 //	schedd -selfcheck
 //
 // Endpoints:
@@ -20,8 +21,14 @@
 //	GET  /statusz     operational summary: counters, cache hit ratio, gauges,
 //	                  request latency and per-stage latency quantiles
 //
+// -store enables the crash-safe disk result tier behind the LRU: computed
+// bodies are appended (write-behind) to segment files in the directory, and
+// after a restart a request computed in a previous lifetime answers
+// byte-identically with X-Schedd-Cache: disk, promoted back into the LRU.
+//
 // Every scheduling request is traced: a root span plus one span per stage
-// (decode, validate, queue_wait, cache_lookup, coalesce_wait, compute,
+// (decode, validate, queue_wait, cache_lookup, disk_lookup when -store is
+// set, coalesce_wait, compute,
 // marshal, write; batch requests add batch_split and batch_merge around the
 // per-item fan-out), with IDs derived from the canonical request key and an
 // in-process sequence — never from the clock. The trace ID is echoed in the
@@ -42,7 +49,9 @@
 // connections and truncated bodies, drives a deliberate worker panic and
 // verifies isolation (structured 500, serve.panics_total, cache intact),
 // replays a builtin chaos scenario (internal/chaos) requiring every
-// invariant to hold, drains, and exits 0 — the smoke test run by
+// invariant to hold, proves the disk result tier across a kill/restart
+// (byte-identical X-Schedd-Cache: disk answer, then promotion to a memory
+// hit), drains, and exits 0 — the smoke test run by
 // scripts/check.sh.
 //
 // -fault-inject is a STAGING flag: it wraps the whole service in the
@@ -55,6 +64,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -73,12 +83,33 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "schedd:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
+	}
+}
+
+// usageError marks a command-line mistake: bad flag syntax or a nonsensical
+// value. main exits 2 for these (usage), 1 for runtime failures, so wrappers
+// and scripts can tell operator errors from daemon errors.
+type usageError struct{ error }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.As(err, &usageError{}):
+		return 2
+	default:
+		return 1
 	}
 }
 
@@ -96,27 +127,54 @@ func run(args []string, stdout, stderr io.Writer) error {
 		traceOut     = fs.String("trace-out", "", "append request spans as JSONL to this path (analyze with cmd/schedtrace)")
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on a secondary listener at this address (e.g. 127.0.0.1:6060); never exposed on -addr")
 		faultInject  = fs.String("fault-inject", "", "STAGING ONLY: wrap the service in the seeded fault injector (e.g. seed=7,latency=0.1:5ms,reject=0.2:503:1,drop=0.05,truncate=0.05)")
+		storeDir     = fs.String("store", "", "crash-safe disk result tier directory (created if missing); after a restart previously computed bodies answer byte-identically with X-Schedd-Cache: disk")
 		selfcheck    = fs.Bool("selfcheck", false, "serve on an ephemeral port, verify the pinned Table-1 trace end to end, drain, exit")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
+	}
+	// Validate flag values before any construction: a nonsensical value is
+	// an operator mistake and must fail fast with usage (exit 2), never
+	// reach pool or cache construction as a default-by-accident.
+	switch {
+	case *queue < 0:
+		return usagef("-queue %d: must be >= 0 (0 = default)", *queue)
+	case *workers < 0:
+		return usagef("-workers %d: must be >= 0 (0 = GOMAXPROCS)", *workers)
+	case *timeout < 0:
+		return usagef("-timeout %s: must be >= 0 (0 = default)", *timeout)
+	case *drainTimeout <= 0:
+		return usagef("-drain-timeout %s: must be positive", *drainTimeout)
 	}
 	var faultSpec faults.Spec
 	if *faultInject != "" {
 		if *selfcheck {
-			return fmt.Errorf("-fault-inject cannot be combined with -selfcheck (the selfcheck runs its own pinned fault leg)")
+			return usagef("-fault-inject cannot be combined with -selfcheck (the selfcheck runs its own pinned fault leg)")
 		}
 		var err error
 		faultSpec, err = faults.Parse(*faultInject)
 		if err != nil {
-			return fmt.Errorf("-fault-inject: %w", err)
+			return usagef("-fault-inject: %w", err)
 		}
+	}
+	if *storeDir != "" && *selfcheck {
+		return usagef("-store cannot be combined with -selfcheck (the selfcheck runs its own restart-recovery leg on a temporary directory)")
 	}
 	opts := serve.Options{
 		QueueDepth:     *queue,
 		Workers:        *workers,
 		CacheEntries:   *cache,
 		RequestTimeout: *timeout,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			return fmt.Errorf("-store: %w", err)
+		}
+		// Deferred close runs after serveForever has drained, so the
+		// write-behind queue is already flushed into the store.
+		defer st.Close()
+		opts.Store = st
 	}
 	var logSink *obs.JSONL
 	if *accessLog != "" {
@@ -177,7 +235,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	var err error
 	if *selfcheck {
-		err = selfCheck(srv, spanCol, stdout)
+		err = selfCheck(srv, spanCol, opts.Tracer, stdout)
 	} else {
 		handler := http.Handler(srv.Handler())
 		if *faultInject != "" {
@@ -239,7 +297,7 @@ func serveForever(srv *serve.Server, handler http.Handler, addr string, drainTim
 // then cached, byte-identical), /healthz, /metricz, the tracing path
 // (spans land in spanCol), and a graceful drain. Everything checked is
 // deterministic; only [ok  ] lines are printed.
-func selfCheck(srv *serve.Server, spanCol *obs.Collector, stdout io.Writer) error {
+func selfCheck(srv *serve.Server, spanCol *obs.Collector, tracer *obs.Tracer, stdout io.Writer) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -340,6 +398,9 @@ func selfCheck(srv *serve.Server, spanCol *obs.Collector, stdout io.Writer) erro
 		return err
 	}
 	if err := chaosLeg(stdout); err != nil {
+		return err
+	}
+	if err := storeLeg(tracer, stdout); err != nil {
 		return err
 	}
 
@@ -719,6 +780,104 @@ func chaosLeg(stdout io.Writer) error {
 		return fmt.Errorf("chaos leg: scenario %s failed", rep.Scenario)
 	}
 	fmt.Fprintf(stdout, "[ok  ] chaos scenario %s: %d invariants hold\n", rep.Scenario, len(rep.Invariants))
+	return nil
+}
+
+// storeLeg proves the crash-safe disk result tier across a kill/restart: a
+// dedicated server over a fresh -store directory computes the pinned
+// Table-1 body, shuts down (drain flushes the write-behind queue, the store
+// closes), and a restarted server over the same directory answers the same
+// request byte-identically with X-Schedd-Cache: disk, then serves the
+// repeat as a memory hit (promotion). Both servers share the selfcheck's
+// tracer, so the restart flow's disk_lookup spans land in -trace-out
+// streams and the pinned schedtrace golden.
+func storeLeg(tracer *obs.Tracer, stdout io.Writer) error {
+	dir, err := os.MkdirTemp("", "schedd-selfcheck-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	reqBody, err := json.Marshal(serve.Request{
+		ETC:       experiments.MinMinExampleETC().Values(),
+		Heuristic: "min-min",
+		Ties:      "det",
+		Seed:      1,
+	})
+	if err != nil {
+		return err
+	}
+
+	// runServer is one daemon lifetime over the shared store directory:
+	// open the store, serve f's requests, shut down, drain (flushing disk
+	// writes), close the store.
+	runServer := func(f func(base string) error) error {
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			return fmt.Errorf("store leg: %w", err)
+		}
+		srv := serve.NewServer(serve.Options{Store: st, Tracer: tracer})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			st.Close()
+			return err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		ferr := f("http://" + ln.Addr().String())
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil && ferr == nil {
+			ferr = fmt.Errorf("store leg shutdown: %w", err)
+		}
+		if err := srv.Drain(sctx); err != nil && ferr == nil {
+			ferr = fmt.Errorf("store leg drain: %w", err)
+		}
+		if err := st.Close(); err != nil && ferr == nil {
+			ferr = fmt.Errorf("store leg: %w", err)
+		}
+		return ferr
+	}
+
+	var first []byte
+	if err := runServer(func(base string) error {
+		body, hdr, err := postIterate(base, reqBody)
+		if err != nil {
+			return fmt.Errorf("store leg: %w", err)
+		}
+		if hdr != "miss" {
+			return fmt.Errorf("store leg: first request X-Schedd-Cache %q, want miss", hdr)
+		}
+		first = body
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := runServer(func(base string) error {
+		second, hdr, err := postIterate(base, reqBody)
+		if err != nil {
+			return fmt.Errorf("store leg restart: %w", err)
+		}
+		if hdr != "disk" {
+			return fmt.Errorf("store leg: post-restart X-Schedd-Cache %q, want disk", hdr)
+		}
+		if !bytes.Equal(second, first) {
+			return fmt.Errorf("store leg: disk hit differs from the pre-restart body")
+		}
+		third, hdr, err := postIterate(base, reqBody)
+		if err != nil {
+			return fmt.Errorf("store leg repeat: %w", err)
+		}
+		if hdr != "hit" {
+			return fmt.Errorf("store leg: promoted repeat X-Schedd-Cache %q, want hit", hdr)
+		}
+		if !bytes.Equal(third, first) {
+			return fmt.Errorf("store leg: promoted hit differs from the pre-restart body")
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "[ok  ] restart recovery: disk hit byte-identical across kill/restart, then promoted to a memory hit")
 	return nil
 }
 

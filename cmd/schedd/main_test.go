@@ -31,6 +31,7 @@ func TestSelfcheck(t *testing.T) {
 		"[ok  ] metricz reports 13 injected faults (3 rejected, 3 dropped, 5 truncated) and 11 client retries",
 		"[ok  ] deliberate panic isolated: structured 500, panics_total=1, cache intact",
 		"[ok  ] chaos scenario breaker-trip: 9 invariants hold",
+		"[ok  ] restart recovery: disk hit byte-identical across kill/restart, then promoted to a memory hit",
 		"[ok  ] drained",
 	} {
 		if !strings.Contains(stdout.String(), want) {
@@ -151,6 +152,51 @@ func TestFaultInjectFlagValidation(t *testing.T) {
 		t.Fatalf("with -selfcheck: err = %v, want a conflict error", err)
 	}
 }
+
+// TestFlagValueValidation pins the usage-error sweep: nonsensical flag
+// values fail fast with a usage-class error (exit 2), before any listener,
+// pool or cache is constructed.
+func TestFlagValueValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string // substring the error must mention
+	}{
+		{[]string{"-queue", "-1"}, "-queue"},
+		{[]string{"-workers", "-2"}, "-workers"},
+		{[]string{"-timeout", "-1s"}, "-timeout"},
+		{[]string{"-drain-timeout", "0s"}, "-drain-timeout"},
+		{[]string{"-selfcheck", "-store", t.TempDir()}, "-store"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		err := run(tc.args, &stdout, &stderr)
+		if err == nil {
+			t.Errorf("run(%v): want usage error", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v): err %q, want mention of %q", tc.args, err, tc.want)
+		}
+		if exitCode(err) != 2 {
+			t.Errorf("run(%v): exit code %d, want 2 (usage)", tc.args, exitCode(err))
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("run(%v): usage leaked to stdout: %s", tc.args, stdout.String())
+		}
+	}
+	// Runtime failures stay exit 1, and flag-syntax errors are usage.
+	if got := exitCode(errOpaque{}); got != 1 {
+		t.Errorf("exitCode(runtime error) = %d, want 1", got)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-nope"}, &stdout, &stderr); exitCode(err) != 2 {
+		t.Errorf("exitCode(flag parse error) = %d, want 2", exitCode(err))
+	}
+}
+
+type errOpaque struct{}
+
+func (errOpaque) Error() string { return "runtime failure" }
 
 // TestBadFlags pins the run() error contract: flag errors return an error
 // (after usage on stderr) and write nothing to stdout.

@@ -23,6 +23,8 @@
 //	                       identity: keep them stable across backend moves)
 //	-local N               spin up N in-process schedd backends instead of
 //	                       -backends (development and benchmarking)
+//	-store-dir DIR         with -local: give each backend its own crash-safe
+//	                       disk result tier under DIR/backend-N (internal/store)
 //	-retries, -backoff, -client-timeout, -breaker-threshold
 //	                       per-backend resilient-client tuning (internal/client)
 //	-access-log, -trace-out, -drain-timeout
@@ -43,6 +45,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -66,7 +69,26 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "schedgw:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
+	}
+}
+
+// usageError marks a command-line mistake: bad flag syntax or a nonsensical
+// value. main exits 2 for these (usage), 1 for runtime failures.
+type usageError struct{ error }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.As(err, &usageError{}):
+		return 2
+	default:
+		return 1
 	}
 }
 
@@ -77,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		addr          = fs.String("addr", "127.0.0.1:8090", "listen address (host:port; port 0 picks an ephemeral port)")
 		backendSpec   = fs.String("backends", "", "comma-separated name=url backend list, e.g. a=http://127.0.0.1:8081,b=http://127.0.0.1:8082")
 		local         = fs.Int("local", 0, "spin up this many in-process schedd backends instead of -backends")
+		storeDir      = fs.String("store-dir", "", "with -local: give each backend a crash-safe disk result tier under this directory (dir/backend-N)")
 		retries       = fs.Int("retries", 2, "per-backend retries before failing over (-1 disables retries)")
 		backoff       = fs.Duration("backoff", 5*time.Millisecond, "per-backend base retry backoff")
 		clientTimeout = fs.Duration("client-timeout", 10*time.Second, "per-attempt deadline against a backend")
@@ -88,11 +111,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		selfcheck     = fs.Bool("selfcheck", false, "boot a local 3-backend cluster, verify the cluster-vs-singleton invariants end to end, drain, exit")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
+	}
+	// Validate flag values before any cluster or listener construction:
+	// operator mistakes fail fast with usage (exit 2).
+	switch {
+	case *local < 0:
+		return usagef("-local %d: must be >= 0", *local)
+	case *retries < -1:
+		return usagef("-retries %d: must be >= -1 (-1 disables retries)", *retries)
+	case *drainTimeout <= 0:
+		return usagef("-drain-timeout %s: must be positive", *drainTimeout)
+	case *clientTimeout <= 0:
+		return usagef("-client-timeout %s: must be positive", *clientTimeout)
+	case *storeDir != "" && *local == 0:
+		return usagef("-store-dir only applies to -local backends (remote backends own their own -store)")
 	}
 	if *selfcheck {
 		if *backendSpec != "" || *local != 0 {
-			return fmt.Errorf("-selfcheck runs its own local cluster; drop -backends/-local")
+			return usagef("-selfcheck runs its own local cluster; drop -backends/-local")
 		}
 		return selfCheck(*traceOut, *accessLog, stdout)
 	}
@@ -101,10 +138,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var localCluster *cluster.Local
 	switch {
 	case *local > 0 && *backendSpec != "":
-		return fmt.Errorf("-local and -backends are mutually exclusive")
+		return usagef("-local and -backends are mutually exclusive")
 	case *local > 0:
 		var err error
-		localCluster, err = cluster.StartLocal(*local, serve.Options{})
+		localCluster, err = cluster.StartLocalStores(*local, serve.Options{}, *storeDir)
 		if err != nil {
 			return err
 		}
@@ -120,7 +157,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	default:
-		return fmt.Errorf("need -backends, -local or -selfcheck")
+		return usagef("need -backends, -local or -selfcheck")
 	}
 
 	reg := obs.NewMetrics()

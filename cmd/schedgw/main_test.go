@@ -69,10 +69,61 @@ func TestParseBackends(t *testing.T) {
 	}
 }
 
-// TestRunNeedsMembership pins the no-configuration error.
+// TestRunNeedsMembership pins the no-configuration error — and that it is
+// a usage-class error (exit 2), like every other operator mistake.
 func TestRunNeedsMembership(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if err := run(nil, &stdout, &stderr); err == nil {
+	err := run(nil, &stdout, &stderr)
+	if err == nil {
 		t.Fatal("run with no membership accepted")
 	}
+	if exitCode(err) != 2 {
+		t.Fatalf("exit code %d, want 2 (usage)", exitCode(err))
+	}
 }
+
+// TestFlagValueValidation pins the usage-error sweep: nonsensical flag
+// values fail fast with a usage-class error (exit 2) before any backend,
+// listener or store is constructed, and nothing leaks to stdout.
+func TestFlagValueValidation(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string // substring the error must mention
+	}{
+		{[]string{"-local", "-1"}, "-local"},
+		{[]string{"-retries", "-2", "-local", "2"}, "-retries"},
+		{[]string{"-drain-timeout", "0s", "-local", "2"}, "-drain-timeout"},
+		{[]string{"-client-timeout", "-1s", "-local", "2"}, "-client-timeout"},
+		{[]string{"-store-dir", t.TempDir(), "-backends", "a=http://x"}, "-store-dir"},
+		{[]string{"-local", "2", "-backends", "a=http://x"}, "mutually exclusive"},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		err := run(tc.args, &stdout, &stderr)
+		if err == nil {
+			t.Errorf("run(%v): want usage error", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v): err %q, want mention of %q", tc.args, err, tc.want)
+		}
+		if exitCode(err) != 2 {
+			t.Errorf("run(%v): exit code %d, want 2 (usage)", tc.args, exitCode(err))
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("run(%v): usage leaked to stdout: %s", tc.args, stdout.String())
+		}
+	}
+	// Runtime failures stay exit 1; flag-syntax errors are usage.
+	if got := exitCode(errOpaque{}); got != 1 {
+		t.Errorf("exitCode(runtime error) = %d, want 1", got)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-nope"}, &stdout, &stderr); exitCode(err) != 2 {
+		t.Errorf("exitCode(flag parse error) = %d, want 2", exitCode(err))
+	}
+}
+
+type errOpaque struct{}
+
+func (errOpaque) Error() string { return "runtime failure" }

@@ -92,7 +92,26 @@ type outcome struct {
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "schedload:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
+	}
+}
+
+// usageError marks a command-line mistake: bad flag syntax or a nonsensical
+// value. main exits 2 for these (usage), 1 for runtime failures.
+type usageError struct{ error }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.As(err, &usageError{}):
+		return 2
+	default:
+		return 1
 	}
 }
 
@@ -121,39 +140,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 		verify       = fs.Bool("verify", true, "assert byte-identical responses for identical request bodies (and across -backends counts)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
 	}
 	var sweepCounts []int
 	if *backendsSpec != "" {
 		if *addr != "" {
-			return fmt.Errorf("-backends runs its own in-process cluster and conflicts with -addr")
+			return usagef("-backends runs its own in-process cluster and conflicts with -addr")
 		}
 		if *faultSpec != "" {
-			return fmt.Errorf("-backends conflicts with -faults (the sweep measures clean capacity)")
+			return usagef("-backends conflicts with -faults (the sweep measures clean capacity)")
 		}
 		var err error
 		if sweepCounts, err = parseCounts(*backendsSpec); err != nil {
-			return err
+			return usageError{err}
 		}
 	} else if *addr == "" {
 		fs.Usage()
-		return fmt.Errorf("missing -addr")
+		return usagef("missing -addr")
 	}
 	if *requests <= 0 || *concurrency <= 0 || *distinct <= 0 {
-		return fmt.Errorf("-requests, -concurrency and -distinct must be positive")
+		return usagef("-requests, -concurrency and -distinct must be positive")
 	}
 	if *batch < 0 {
-		return fmt.Errorf("-batch must be >= 0")
+		return usagef("-batch must be >= 0")
 	}
 	if *retries < 0 || *backoff <= 0 || *timeout <= 0 {
-		return fmt.Errorf("-retries must be >= 0; -backoff and -timeout must be positive")
+		return usagef("-retries must be >= 0; -backoff and -timeout must be positive")
 	}
 	if *endpoint != "iterate" && *endpoint != "map" {
-		return fmt.Errorf("unknown -endpoint %q (want iterate or map)", *endpoint)
+		return usagef("unknown -endpoint %q (want iterate or map)", *endpoint)
 	}
 	class, err := classByLabel(*classLabel)
 	if err != nil {
-		return err
+		return usageError{err}
 	}
 
 	// The request stream is deterministic in the flags: one rng source,
@@ -410,7 +429,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *faultSpec != "" {
 		spec, err := faults.Parse(*faultSpec)
 		if err != nil {
-			return fmt.Errorf("-faults: %w", err)
+			return usagef("-faults: %v", err)
 		}
 		proxyBase, err := startFaultProxy(spec, base, reg)
 		if err != nil {
@@ -502,78 +521,10 @@ type sweepDeps struct {
 func runSweep(counts []int, d sweepDeps, stdout io.Writer) error {
 	var crossRef [][]byte // per-distinct reference bodies from the first count
 	for _, n := range counts {
-		local, err := cluster.StartLocal(n, serve.Options{Workers: 2, QueueDepth: 256})
+		ref, err := sweepLeg(n, d, stdout)
 		if err != nil {
-			return fmt.Errorf("sweep %d backends: %w", n, err)
-		}
-		gw, err := cluster.NewGateway(cluster.Options{
-			Backends: local.Backends(),
-			Client: client.Options{
-				MaxRetries:  d.maxRetries,
-				BaseBackoff: d.backoff,
-				Timeout:     d.timeout,
-				Seed:        d.seed,
-				HTTPClient:  &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
-			},
-		})
-		if err != nil {
-			local.Close()
-			return fmt.Errorf("sweep %d backends: %w", n, err)
-		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			local.Close()
-			return fmt.Errorf("sweep %d backends: %w", n, err)
-		}
-		hs := &http.Server{Handler: gw.Handler(), ErrorLog: log.New(io.Discard, "", 0)}
-		go hs.Serve(ln)
-		base := "http://" + ln.Addr().String()
-
-		cl := client.New(client.Options{
-			MaxRetries:  d.maxRetries,
-			BaseBackoff: d.backoff,
-			Timeout:     d.timeout,
-			Seed:        d.seed,
-			Metrics:     obs.NewMetrics(),
-			Tracer:      d.tracer,
-			HTTPClient:  &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
-		})
-		outcomes, elapsed := d.drive(cl, base)
-		ok, failed, hits, latencies := d.tally(outcomes)
-		mode := "singleton requests"
-		if d.batch > 0 {
-			mode = fmt.Sprintf("batches of up to %d", d.batch)
-		}
-		fmt.Fprintf(stdout, "schedload: sweep %d backend(s): %d requests via gateway %s (%s)\n",
-			n, d.requests, base, mode)
-		fmt.Fprintf(stdout, "responses: %d ok, %d errors, %d cache hits\n", ok, failed, hits)
-		fmt.Fprintf(stdout, "throughput: %.1f req/s (%.1f ms total, observational)\n",
-			float64(d.requests)/elapsed.Seconds(), float64(elapsed)/float64(time.Millisecond))
-		if err := d.reportLatency(latencies); err != nil {
 			return err
 		}
-
-		var ref [][]byte
-		if d.verify && failed == 0 {
-			// Verify while the stack is still up: batch mode posts fresh
-			// singleton references through the gateway.
-			if ref, err = d.verifyStream(cl, base, outcomes); err != nil {
-				return fmt.Errorf("sweep %d backends: %w", n, err)
-			}
-		}
-
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		hs.Close()
-		gw.Drain(ctx)
-		closeErr := local.Close()
-		cancel()
-		if failed > 0 {
-			return fmt.Errorf("sweep %d backends: %d of %d requests failed", n, failed, d.requests)
-		}
-		if closeErr != nil {
-			return fmt.Errorf("sweep %d backends: close: %w", n, closeErr)
-		}
-
 		if d.verify {
 			if crossRef == nil {
 				crossRef = ref
@@ -598,6 +549,89 @@ func runSweep(counts []int, d sweepDeps, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "sweep: responses byte-identical across backend counts %s\n", strings.Join(labels, ","))
 	}
 	return nil
+}
+
+// sweepLeg runs one backend count: boot the cluster + gateway, drive the
+// stream, report, and (with verify) return the per-distinct reference
+// bodies. Teardown is deferred so a failed leg — drive errors, a latency
+// reporting failure, a verify mismatch — still stops the listener, drains
+// the gateway and closes every backend; an early return must never leak the
+// stack's goroutines.
+func sweepLeg(n int, d sweepDeps, stdout io.Writer) (ref [][]byte, err error) {
+	local, err := cluster.StartLocal(n, serve.Options{Workers: 2, QueueDepth: 256})
+	if err != nil {
+		return nil, fmt.Errorf("sweep %d backends: %w", n, err)
+	}
+	var gw *cluster.Gateway
+	var hs *http.Server
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if hs != nil {
+			hs.Close()
+		}
+		if gw != nil {
+			gw.Drain(ctx)
+		}
+		if cerr := local.Close(); cerr != nil && err == nil {
+			ref, err = nil, fmt.Errorf("sweep %d backends: close: %w", n, cerr)
+		}
+	}()
+	gw, err = cluster.NewGateway(cluster.Options{
+		Backends: local.Backends(),
+		Client: client.Options{
+			MaxRetries:  d.maxRetries,
+			BaseBackoff: d.backoff,
+			Timeout:     d.timeout,
+			Seed:        d.seed,
+			HTTPClient:  &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sweep %d backends: %w", n, err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("sweep %d backends: %w", n, err)
+	}
+	hs = &http.Server{Handler: gw.Handler(), ErrorLog: log.New(io.Discard, "", 0)}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	cl := client.New(client.Options{
+		MaxRetries:  d.maxRetries,
+		BaseBackoff: d.backoff,
+		Timeout:     d.timeout,
+		Seed:        d.seed,
+		Metrics:     obs.NewMetrics(),
+		Tracer:      d.tracer,
+		HTTPClient:  &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+	})
+	outcomes, elapsed := d.drive(cl, base)
+	ok, failed, hits, latencies := d.tally(outcomes)
+	mode := "singleton requests"
+	if d.batch > 0 {
+		mode = fmt.Sprintf("batches of up to %d", d.batch)
+	}
+	fmt.Fprintf(stdout, "schedload: sweep %d backend(s): %d requests via gateway %s (%s)\n",
+		n, d.requests, base, mode)
+	fmt.Fprintf(stdout, "responses: %d ok, %d errors, %d cache hits\n", ok, failed, hits)
+	fmt.Fprintf(stdout, "throughput: %.1f req/s (%.1f ms total, observational)\n",
+		float64(d.requests)/elapsed.Seconds(), float64(elapsed)/float64(time.Millisecond))
+	if err := d.reportLatency(latencies); err != nil {
+		return nil, err
+	}
+	if failed > 0 {
+		return nil, fmt.Errorf("sweep %d backends: %d of %d requests failed", n, failed, d.requests)
+	}
+	if d.verify {
+		// Verify while the stack is still up: batch mode posts fresh
+		// singleton references through the gateway.
+		if ref, err = d.verifyStream(cl, base, outcomes); err != nil {
+			return nil, fmt.Errorf("sweep %d backends: %w", n, err)
+		}
+	}
+	return ref, nil
 }
 
 // parseCounts parses the -backends sweep spec: comma-separated positive

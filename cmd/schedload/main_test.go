@@ -3,12 +3,15 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/serve"
 )
 
@@ -190,12 +193,26 @@ func TestFlagValidation(t *testing.T) {
 	}
 	for _, args := range cases {
 		var stdout, stderr bytes.Buffer
-		if err := run(args, &stdout, &stderr); err == nil {
+		err := run(args, &stdout, &stderr)
+		if err == nil {
 			t.Errorf("run(%v): want error", args)
+			continue
+		}
+		if exitCode(err) != 2 {
+			t.Errorf("run(%v): exit code %d, want 2 (usage)", args, exitCode(err))
 		}
 		if strings.Contains(stdout.String(), "Usage") {
 			t.Errorf("run(%v): usage leaked to stdout", args)
 		}
+	}
+	// Runtime failures (an unreachable daemon, failed requests) stay exit 1.
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-addr", "127.0.0.1:1", "-requests", "1", "-retries", "0", "-timeout", "100ms"}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("run against an unreachable daemon: want error")
+	}
+	if exitCode(err) != 1 {
+		t.Errorf("exitCode(runtime failure) = %d, want 1", exitCode(err))
 	}
 }
 
@@ -250,6 +267,53 @@ func TestBackendsSweepBatchMode(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("stdout missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestBackendsSweepFailedLegTearsDown is the regression test for the sweep
+// teardown bug: a leg whose verify pass fails must still stop its listener,
+// drain the gateway and close every backend before runSweep returns the
+// error. Without the deferred teardown this test leaks the whole cluster's
+// goroutines (and the package TestMain gate fails).
+func TestBackendsSweepFailedLegTearsDown(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	var stdout bytes.Buffer
+	d := sweepDeps{
+		drive: func(cl *client.Client, base string) ([]outcome, time.Duration) {
+			// One real post so the stack is demonstrably up and serving.
+			resp, err := http.Get(base + "/healthz")
+			if err != nil {
+				t.Errorf("sweep stack not serving: %v", err)
+			} else {
+				resp.Body.Close()
+			}
+			return []outcome{{status: http.StatusOK, body: []byte("x")}}, time.Millisecond
+		},
+		tally: func(outcomes []outcome) (int, int, int, []float64) {
+			return len(outcomes), 0, 0, []float64{1}
+		},
+		reportLatency: func([]float64) error { return nil },
+		verifyStream: func(*client.Client, string, []outcome) ([][]byte, error) {
+			return nil, fmt.Errorf("stubbed verify failure")
+		},
+		maxRetries: -1, backoff: time.Millisecond, timeout: 2 * time.Second,
+		seed: 1, requests: 1, verify: true,
+	}
+	err := runSweep([]int{2}, d, &stdout)
+	if err == nil || !strings.Contains(err.Error(), "stubbed verify failure") {
+		t.Fatalf("runSweep = %v, want the stubbed verify failure", err)
+	}
+	// The failed leg must not leak its cluster: poll until the goroutine
+	// count returns to (near) the pre-sweep baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("failed sweep leg leaked goroutines: %d, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

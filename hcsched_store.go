@@ -1,0 +1,42 @@
+package hcsched
+
+import "repro/internal/store"
+
+// Tiered result store (see internal/store and schedd -store): a crash-safe
+// on-disk second tier behind the serving layer's LRU, keyed by canonical
+// request key and holding marshaled response bodies verbatim. A restarted
+// daemon answers previously computed requests from disk — byte-identical,
+// X-Schedd-Cache: disk — instead of recomputing them cold. Append-only
+// segment files, a bloom filter so misses cost zero disk reads, and
+// recovery that truncates a torn tail rather than ever serving it.
+type (
+	// ResultStore is the crash-safe on-disk body store. It satisfies the
+	// serve layer's store interface: set it as ServeOptions.Store to wire
+	// it under the LRU as a read-through/write-behind second tier.
+	ResultStore = store.Store
+	// ResultStoreOptions configures a ResultStore; the zero value uses the
+	// full in-memory index and default segment/bloom sizing.
+	ResultStoreOptions = store.Options
+	// ResultStoreLayout selects the in-memory index layout:
+	// ResultStoreIndexFull or ResultStoreIndexSparse.
+	ResultStoreLayout = store.Layout
+	// ResultStoreStats is a point-in-time snapshot of store state and
+	// counters (keys, segments, recovered bytes, bloom negatives, reads).
+	ResultStoreStats = store.Stats
+)
+
+// Index layouts for ResultStoreOptions.Layout: the exact key map (zero
+// false positives, more memory) and the fingerprint map (compact, rare
+// extra disk probes). Both serve identical bytes.
+const (
+	ResultStoreIndexFull   = store.IndexFull
+	ResultStoreIndexSparse = store.IndexSparse
+)
+
+// OpenResultStore opens (or creates) a result store rooted at dir,
+// replaying and validating its segments: whole records survive, a torn
+// tail is truncated. Close flushes and releases it; pair every Open with a
+// Close after the owning Server has drained.
+func OpenResultStore(dir string, opts ResultStoreOptions) (*ResultStore, error) {
+	return store.Open(dir, opts)
+}

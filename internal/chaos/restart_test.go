@@ -1,0 +1,91 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestRestartScenariosPass replays every builtin restart scenario and
+// requires a clean verdict: disk recovery, promotion, torn-tail truncation
+// and byte-identity across the kill/restart all hold.
+func TestRestartScenariosPass(t *testing.T) {
+	for _, sc := range BuiltinRestart() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := RunRestart(sc)
+			if err != nil {
+				t.Fatalf("RunRestart: %v", err)
+			}
+			for _, inv := range rep.Invariants {
+				if !inv.OK {
+					t.Errorf("invariant %s violated: %s", inv.Name, inv.Detail)
+				}
+			}
+			if !rep.Pass {
+				b, _ := rep.JSON()
+				t.Fatalf("scenario failed:\n%s", b)
+			}
+		})
+	}
+}
+
+// TestRestartReportDeterministic pins the replay promise: same scenario,
+// same seed, byte-identical verdict report — even though each run uses a
+// fresh temp store directory.
+func TestRestartReportDeterministic(t *testing.T) {
+	sc, err := RestartByName("restart-recovery")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunRestart(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRestart(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("reports differ across identical runs:\n--- first\n%s\n--- second\n%s", aj, bj)
+	}
+}
+
+// TestRestartScenarioValidation covers the scenario validator.
+func TestRestartScenarioValidation(t *testing.T) {
+	base := func() RestartScenario {
+		return RestartScenario{Name: "t", Seed: 1, Tasks: 4, Machines: 2, Distinct: 2, TornTailBytes: 3}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*RestartScenario)
+	}{
+		{"no name", func(sc *RestartScenario) { sc.Name = "" }},
+		{"panic seed", func(sc *RestartScenario) { sc.Seed = PanicSeed }},
+		{"zero distinct", func(sc *RestartScenario) { sc.Distinct = 0 }},
+		{"negative torn tail", func(sc *RestartScenario) { sc.TornTailBytes = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := base()
+			tc.mutate(&sc)
+			if _, err := RunRestart(sc); err == nil {
+				t.Fatal("invalid scenario accepted")
+			}
+		})
+	}
+}
+
+// TestRestartByNameUnknown pins the error path.
+func TestRestartByNameUnknown(t *testing.T) {
+	if _, err := RestartByName("nope"); err == nil {
+		t.Fatal("unknown restart scenario accepted")
+	}
+}

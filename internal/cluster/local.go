@@ -7,12 +7,14 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // Local is an in-process multi-backend substrate: n full serve stacks, each
@@ -29,9 +31,10 @@ type Local struct {
 // HTTP server currently accepting (nil while killed), and the recorded
 // address revives rebind to.
 type localBackend struct {
-	name string
-	srv  *serve.Server
-	reg  *obs.Metrics
+	name  string
+	srv   *serve.Server
+	reg   *obs.Metrics
+	store *store.Store // nil without a disk tier; closed by Close after drain
 
 	// handler indirection: SetHandler swaps what the listener serves (fault
 	// injectors wrap here) without restarting anything.
@@ -48,6 +51,17 @@ type localBackend struct {
 // backend (shared registries would collapse every backend's counters), and
 // the caller's Observer/Tracer are shared as given. Callers own Close.
 func StartLocal(n int, opts serve.Options) (*Local, error) {
+	return StartLocalStores(n, opts, "")
+}
+
+// StartLocalStores boots n backends like StartLocal, each additionally
+// carrying its own crash-safe disk result tier rooted at dir/<backend-name>
+// (empty dir means no disk tier — plain StartLocal). Per-backend
+// directories keep the tiers as disjoint as the caches: rendezvous routing
+// sends a key to one backend, so that backend's store is where the key's
+// body becomes durable. Close drains each backend and then closes its
+// store, so the write-behind queue is always flushed first.
+func StartLocalStores(n int, opts serve.Options, dir string) (*Local, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cluster: need at least one backend, got %d", n)
 	}
@@ -55,20 +69,42 @@ func StartLocal(n int, opts serve.Options) (*Local, error) {
 	for i := 0; i < n; i++ {
 		o := opts
 		o.Metrics = obs.NewMetrics()
+		name := fmt.Sprintf("backend-%d", i)
+		var st *store.Store
+		if dir != "" {
+			var err error
+			st, err = store.Open(filepath.Join(dir, name), store.Options{})
+			if err != nil {
+				l.Close()
+				return nil, fmt.Errorf("cluster: %s: %w", name, err)
+			}
+			o.Store = st
+		}
 		b := &localBackend{
-			name: fmt.Sprintf("backend-%d", i),
-			srv:  serve.NewServer(o),
-			reg:  o.Metrics,
+			name:  name,
+			srv:   serve.NewServer(o),
+			reg:   o.Metrics,
+			store: st,
 		}
 		h := b.srv.Handler()
 		b.handler.Store(&h)
 		if err := b.bind(""); err != nil {
+			b.closeStore()
 			l.Close()
 			return nil, err
 		}
 		l.backends = append(l.backends, b)
 	}
 	return l, nil
+}
+
+// closeStore closes the backend's disk tier, if any. Only call after the
+// serve stack has drained (the server write-behind flushes into the store).
+func (b *localBackend) closeStore() error {
+	if b.store == nil {
+		return nil
+	}
+	return b.store.Close()
 }
 
 // bind listens (on addr when rebinding, an ephemeral port otherwise) and
@@ -192,6 +228,9 @@ func (l *Local) Close() error {
 			first = err
 		}
 		cancel()
+		if err := b.closeStore(); err != nil && first == nil {
+			first = err
+		}
 	}
 	return first
 }

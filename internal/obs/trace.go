@@ -11,6 +11,7 @@ import (
 //
 // A Tracer hands out one Trace per request; a Trace is a root span plus
 // nested stage spans (decode, validate, queue_wait, cache_lookup,
+// disk_lookup when a disk result tier is configured,
 // coalesce_wait, compute, marshal, write — plus batch_split and batch_merge
 // on batch requests — on the serving side; attempt and backoff on the
 // client side). The repository's two observability rules

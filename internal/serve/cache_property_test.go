@@ -106,6 +106,161 @@ func TestLRUEvictionOrderProperty(t *testing.T) {
 	}
 }
 
+// aliasOracle extends oracleLRU with the raw-alias index contract: a raw
+// key maps to at most one live canonical entry, an entry carries at most
+// maxRawAliases raw keys for its lifetime in the cache, and eviction drops
+// an entry's aliases with it.
+type aliasOracle struct {
+	*oracleLRU
+	rawOf   map[string]string   // raw key -> canonical key (live entries only)
+	aliases map[string][]string // canonical key -> its raw keys
+}
+
+func newAliasOracle(max int) *aliasOracle {
+	return &aliasOracle{oracleLRU: newOracle(max), rawOf: map[string]string{}, aliases: map[string][]string{}}
+}
+
+func (o *aliasOracle) evictBack() {
+	last := o.keys[len(o.keys)-1]
+	o.keys = o.keys[:len(o.keys)-1]
+	delete(o.bodies, last)
+	for _, rk := range o.aliases[last] {
+		delete(o.rawOf, rk)
+	}
+	delete(o.aliases, last)
+}
+
+func (o *aliasOracle) add(key string, body []byte) {
+	if _, ok := o.bodies[key]; ok {
+		o.touch(key)
+		return
+	}
+	if len(o.keys) >= o.max {
+		o.evictBack()
+	}
+	o.bodies[key] = body
+	o.keys = append([]string{key}, o.keys...)
+}
+
+func (o *aliasOracle) alias(raw, key string) {
+	if _, ok := o.rawOf[raw]; ok {
+		return
+	}
+	if _, ok := o.bodies[key]; !ok {
+		return
+	}
+	if len(o.aliases[key]) >= maxRawAliases {
+		return
+	}
+	o.rawOf[raw] = key
+	o.aliases[key] = append(o.aliases[key], raw)
+}
+
+func (o *aliasOracle) getRaw(raw string) (body []byte, key string, ok bool) {
+	key, ok = o.rawOf[raw]
+	if !ok {
+		return nil, "", false
+	}
+	o.touch(key)
+	return o.bodies[key], key, true
+}
+
+// checkAliasStructure asserts the cache's structural invariants directly
+// (white-box, single-threaded): every raw index entry resolves to a live
+// canonical entry — never an evicted one — and no entry holds more than
+// maxRawAliases aliases.
+func checkAliasStructure(t *testing.T, step int, c *lru) {
+	t.Helper()
+	for rk, el := range c.raw {
+		e := el.Value.(*lruEntry)
+		live, ok := c.entries[e.key]
+		if !ok {
+			t.Fatalf("step %d: raw alias %q resolves to evicted entry %q", step, rk, e.key)
+		}
+		if live != el {
+			t.Fatalf("step %d: raw alias %q points at a stale element for key %q", step, rk, e.key)
+		}
+	}
+	for key, el := range c.entries {
+		e := el.Value.(*lruEntry)
+		if len(e.raws) > maxRawAliases {
+			t.Fatalf("step %d: entry %q has %d raw aliases, cap %d", step, key, len(e.raws), maxRawAliases)
+		}
+		for _, rk := range e.raws {
+			if c.raw[rk] != el {
+				t.Fatalf("step %d: entry %q lists alias %q but the raw index disagrees", step, key, rk)
+			}
+		}
+	}
+}
+
+// TestLRUAliasInterleavingProperty interleaves add/alias/getRaw/get (the
+// full mutation surface of the cache, eviction included) against the alias
+// oracle with seeded random streams, checking observable behavior on every
+// step plus the raw-index structural invariants: a raw key never resolves
+// to an evicted entry, and an entry never exceeds maxRawAliases aliases —
+// even when clients push more than maxRawAliases formatting variants of one
+// request, or re-add a key after its eviction.
+func TestLRUAliasInterleavingProperty(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 17, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const capacity = 12
+			const universe = 30 // > capacity so evictions are common
+			const variants = 12 // > maxRawAliases so the cap is exercised
+			const steps = 6000
+			src := rng.New(seed)
+			c := newLRU(capacity)
+			o := newAliasOracle(capacity)
+			body := func(k int) []byte { return []byte(fmt.Sprintf("body-%d", k)) }
+			for step := 0; step < steps; step++ {
+				k := src.Intn(universe)
+				key := fmt.Sprintf("key-%d", k)
+				raw := fmt.Sprintf("raw-%d-var-%d", k, src.Intn(variants))
+				switch src.Intn(4) {
+				case 0:
+					gotB, gotOK := c.get(key)
+					wantB, wantOK := o.get(key)
+					if gotOK != wantOK || !bytes.Equal(gotB, wantB) {
+						t.Fatalf("step %d: get(%s) = (%q, %v), oracle (%q, %v)",
+							step, key, gotB, gotOK, wantB, wantOK)
+					}
+				case 1:
+					c.add(key, body(k), entryMeta{})
+					o.add(key, body(k))
+				case 2:
+					c.alias([]byte(raw), key)
+					o.alias(raw, key)
+				case 3:
+					gotB, gotKey, _, gotOK := c.getRaw([]byte(raw))
+					wantB, wantKey, wantOK := o.getRaw(raw)
+					if gotOK != wantOK || gotKey != wantKey || !bytes.Equal(gotB, wantB) {
+						t.Fatalf("step %d: getRaw(%s) = (%q, %q, %v), oracle (%q, %q, %v)",
+							step, raw, gotB, gotKey, gotOK, wantB, wantKey, wantOK)
+					}
+				}
+				if c.len() != len(o.keys) {
+					t.Fatalf("step %d: len %d, oracle %d", step, c.len(), len(o.keys))
+				}
+				checkAliasStructure(t, step, c)
+			}
+			// Final sweep: every (key, variant) alias resolves exactly as the
+			// oracle says — no ghost aliases to evicted entries survive.
+			for k := 0; k < universe; k++ {
+				for v := 0; v < variants; v++ {
+					raw := fmt.Sprintf("raw-%d-var-%d", k, v)
+					gotB, gotKey, _, gotOK := c.getRaw([]byte(raw))
+					wantB, wantKey, wantOK := o.getRaw(raw)
+					if gotOK != wantOK || gotKey != wantKey || !bytes.Equal(gotB, wantB) {
+						t.Fatalf("final: getRaw(%s) = (%q, %q, %v), oracle (%q, %q, %v)",
+							raw, gotB, gotKey, gotOK, wantB, wantKey, wantOK)
+					}
+				}
+			}
+		})
+	}
+}
+
 func gaugeValue(t *testing.T, s *Server, name string) float64 {
 	t.Helper()
 	for _, g := range s.Metrics().Snapshot().Gauges {

@@ -92,13 +92,21 @@ type Options struct {
 	Observer obs.Observer
 	// Tracer, when non-nil, opens one deterministic trace per scheduling
 	// request: a root span plus stage spans (decode, validate, cache_lookup,
-	// queue_wait, coalesce_wait, compute, marshal, write; batch requests add
+	// disk_lookup when a store is configured, queue_wait, coalesce_wait,
+	// compute, marshal, write; batch requests add
 	// batch_split and batch_merge) emitted to the tracer's sink at request
 	// end. The trace ID is echoed in the
 	// X-Schedd-Trace response header — never in the body, so cache hits stay
 	// byte-identical. A nil Tracer costs nothing (no span objects, no clock
 	// reads).
 	Tracer *obs.Tracer
+	// Store, when non-nil, is the crash-safe disk result tier behind the
+	// LRU. An LRU miss consults it under a disk_lookup stage span; a disk
+	// hit is served with X-Schedd-Cache: disk (byte-identical body) and
+	// promoted into the LRU. Computed bodies are written behind the request
+	// path by a dedicated writer goroutine; Drain flushes pending writes,
+	// after which the caller owns closing the store.
+	Store ResultStore
 }
 
 // Server is the scheduling service: an http.Handler plus the worker pool
@@ -116,6 +124,13 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup
 	stopOnce sync.Once
+
+	// Disk tier (nil/unused when Options.Store is nil): reads happen inline
+	// in resolve; writes flow worker → storeQ → storeWriter goroutine.
+	store     ResultStore
+	storeQ    chan storeWrite
+	storeDone chan struct{}
+	storeStop sync.Once
 
 	queued    atomic.Int64
 	inflightN atomic.Int64
@@ -135,6 +150,13 @@ type Server struct {
 	mPanics     *obs.Counter
 	mBatches    *obs.Counter
 	mBatchItems *obs.Counter
+	// Disk-tier traffic. Registered only when a store is configured, so
+	// storeless deployments' /metricz output is unchanged.
+	mDiskHits   *obs.Counter
+	mDiskMisses *obs.Counter
+	mDiskWrites *obs.Counter
+	mDiskDrops  *obs.Counter
+	mDiskErrors *obs.Counter
 	// Per-outcome response counters. Every scheduling arrival resolves to
 	// exactly one of these, so requests_total == 2xx+4xx+5xx always — the
 	// conservation invariant the chaos harness checks after every run.
@@ -242,6 +264,17 @@ func NewServer(opts Options) *Server {
 		}
 		s.cache = newLRU(n)
 	}
+	if opts.Store != nil {
+		s.store = opts.Store
+		s.storeQ = make(chan storeWrite, storeQueueDepth)
+		s.storeDone = make(chan struct{})
+		s.mDiskHits = reg.Counter("serve.disk_hits")
+		s.mDiskMisses = reg.Counter("serve.disk_misses")
+		s.mDiskWrites = reg.Counter("serve.disk_writes")
+		s.mDiskDrops = reg.Counter("serve.disk_write_drops")
+		s.mDiskErrors = reg.Counter("serve.disk_errors")
+		go s.storeWriter()
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc(string(endpointMap), s.handleSchedule(endpointMap))
 	s.mux.HandleFunc(string(endpointIterate), s.handleSchedule(endpointIterate))
@@ -293,6 +326,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	s.stopOnce.Do(func() { close(s.queue) })
 	s.workers.Wait()
+	// Workers (the only storeQ senders) are gone; flush the write-behind
+	// queue so every computed body is durable before the caller closes the
+	// store.
+	s.drainStore()
 	return nil
 }
 
@@ -330,8 +367,11 @@ func (s *Server) worker() {
 			continue
 		}
 		body, err := s.computeJob(j)
-		if err == nil && s.cache != nil {
-			s.cache.add(j.p.key, body, metaOf(j.p))
+		if err == nil {
+			if s.cache != nil {
+				s.cache.add(j.p.key, body, metaOf(j.p))
+			}
+			s.storeEnqueue(j.p.key, body)
 		}
 		j.done <- jobResult{body: body, err: err}
 	}
@@ -539,9 +579,10 @@ func (s *Server) handleSchedule(ep endpoint) http.HandlerFunc {
 }
 
 // resolve obtains the response bytes for a parsed request: canonical cache
-// lookup, joining an identical in-flight computation, or queueing for a
-// worker under the request deadline. It returns the body and cache state
-// ("hit", "miss" or "coalesced") on success; on failure the state is what
+// lookup, disk-tier consult (when a store is configured), joining an
+// identical in-flight computation, or queueing for a worker under the
+// request deadline. It returns the body and cache state
+// ("hit", "disk", "miss" or "coalesced") on success; on failure the state is what
 // the access-log record should carry ("coalesced" when a coalesced leader
 // failed, else empty). All cache/flight/queue counters — including
 // timeouts — are accounted here, exactly as the inline paths did.
@@ -558,6 +599,33 @@ func (s *Server) resolve(rctx context.Context, p *parsedRequest, tr *obs.Trace) 
 		if ok {
 			s.mHits.Inc()
 			return cached, "hit", nil
+		}
+	}
+	if s.store != nil {
+		// Disk tier: a read-through consult between the LRU and compute. An
+		// I/O error is a miss with a counter — the store must never be able
+		// to fail a request that compute can still answer.
+		sp := tr.Start("disk_lookup")
+		body, ok, err := s.store.Get(p.key)
+		switch {
+		case err != nil:
+			sp.SetErr(CodeInternal)
+			sp.End()
+			s.mDiskErrors.Inc()
+		case ok:
+			sp.SetCache("disk")
+			sp.End()
+			s.mDiskHits.Inc()
+			// Promote so repeats are memory hits; the body came back from
+			// the verbatim store, so the cached bytes stay byte-identical.
+			if s.cache != nil {
+				s.cache.add(p.key, body, metaOf(p))
+			}
+			return body, "disk", nil
+		default:
+			sp.SetCache("miss")
+			sp.End()
+			s.mDiskMisses.Inc()
 		}
 	}
 	timeout := s.opts.RequestTimeout
@@ -892,11 +960,12 @@ var (
 		"hit":       {"hit"},
 		"miss":      {"miss"},
 		"coalesced": {"coalesced"},
+		"disk":      {"disk"},
 	}
 )
 
-// writeBody writes a 200 scheduling response. cacheState ("hit", "miss" or
-// "coalesced") goes in the X-Schedd-Cache header: headers may differ by how
+// writeBody writes a 200 scheduling response. cacheState ("hit", "disk",
+// "miss" or "coalesced") goes in the X-Schedd-Cache header: headers may differ by how
 // the bytes were obtained, bodies never do. The write itself is the trace's
 // "write" stage.
 func (s *Server) writeBody(w http.ResponseWriter, body []byte, cacheState string, tr *obs.Trace) {

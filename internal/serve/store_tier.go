@@ -1,0 +1,74 @@
+package serve
+
+// The disk result tier: a crash-safe second cache level behind the LRU
+// (internal/store implements it; the interface lives here so serve depends
+// only on the contract). Reads are on the request path — an LRU miss
+// consults the store under a disk_lookup stage span before any compute is
+// queued, and a disk hit is promoted into the LRU and served with
+// X-Schedd-Cache: disk. Writes are behind the request path: workers enqueue
+// computed bodies onto a bounded channel drained by one writer goroutine,
+// so a slow disk can delay durability but never a response. Drain flushes
+// the channel after the worker pool exits, so every computed body reaches
+// the store before the caller closes it.
+
+// ResultStore is the contract for the disk tier. Implementations must be
+// safe for concurrent use and must return bodies byte-identical to what Put
+// stored — the serving layer's byte-identity invariant extends through
+// restarts only if the store is verbatim.
+type ResultStore interface {
+	// Get returns the stored body for a canonical request key. ok reports
+	// presence; err is an I/O failure (treated as a miss by the server,
+	// counted in serve.disk_errors).
+	Get(key string) ([]byte, bool, error)
+	// Put durably appends the body for a key. Duplicate keys may be
+	// skipped: bodies are deterministic in their key.
+	Put(key string, body []byte) error
+}
+
+// storeQueueDepth bounds the write-behind channel. Overflow drops the write
+// (counted in serve.disk_write_drops) rather than stalling a worker: a
+// dropped write costs one future recompute, never correctness.
+const storeQueueDepth = 256
+
+// storeWrite is one pending write-behind append.
+type storeWrite struct {
+	key  string
+	body []byte
+}
+
+// storeEnqueue hands a computed body to the writer goroutine without
+// blocking the worker. No-op when no store is configured.
+func (s *Server) storeEnqueue(key string, body []byte) {
+	if s.storeQ == nil {
+		return
+	}
+	select {
+	case s.storeQ <- storeWrite{key: key, body: body}:
+	default:
+		s.mDiskDrops.Inc()
+	}
+}
+
+// storeWriter drains the write-behind channel until it is closed (by Drain,
+// after the worker pool has exited), then signals storeDone.
+func (s *Server) storeWriter() {
+	defer close(s.storeDone)
+	for w := range s.storeQ {
+		if err := s.store.Put(w.key, w.body); err != nil {
+			s.mDiskErrors.Inc()
+			continue
+		}
+		s.mDiskWrites.Inc()
+	}
+}
+
+// drainStore closes the write-behind channel and waits for the writer to
+// flush. Must only run after the worker pool has exited (workers are the
+// only senders). Idempotent.
+func (s *Server) drainStore() {
+	if s.storeQ == nil {
+		return
+	}
+	s.storeStop.Do(func() { close(s.storeQ) })
+	<-s.storeDone
+}

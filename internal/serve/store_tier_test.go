@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// openStore opens a real internal/store instance for tier tests.
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	return st
+}
+
+// TestDiskTierSurvivesRestart is the tier's headline contract: a body
+// computed before a restart is answered after the restart from disk,
+// byte-identical, with X-Schedd-Cache: disk, and the disk hit promotes the
+// entry so the next repeat is a memory hit.
+func TestDiskTierSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := iterateBody("sufferage", "random", 42)
+
+	st := openStore(t, dir)
+	s := NewServer(Options{Store: st})
+	first := post(s, "/v1/iterate", body)
+	if first.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", first.Code, first.Body.String())
+	}
+	if got := first.Header().Get("X-Schedd-Cache"); got != "miss" {
+		t.Fatalf("first request cache = %q, want miss", got)
+	}
+	drain(t, s) // flushes the write-behind queue
+	if err := st.Close(); err != nil {
+		t.Fatalf("store Close: %v", err)
+	}
+
+	// "Restart": a fresh server (cold LRU) over a reopened store.
+	st = openStore(t, dir)
+	s = NewServer(Options{Store: st})
+	defer func() {
+		drain(t, s)
+		st.Close()
+	}()
+	second := post(s, "/v1/iterate", body)
+	if second.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", second.Code, second.Body.String())
+	}
+	if got := second.Header().Get("X-Schedd-Cache"); got != "disk" {
+		t.Fatalf("post-restart cache = %q, want disk", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("disk hit is not byte-identical to the computed response")
+	}
+	if got := counterValue(t, s, "serve.disk_hits"); got != 1 {
+		t.Fatalf("disk_hits = %d, want 1", got)
+	}
+	third := post(s, "/v1/iterate", body)
+	if got := third.Header().Get("X-Schedd-Cache"); got != "hit" {
+		t.Fatalf("promotion: repeat cache = %q, want hit", got)
+	}
+	if !bytes.Equal(first.Body.Bytes(), third.Body.Bytes()) {
+		t.Fatal("promoted hit is not byte-identical")
+	}
+}
+
+// TestDiskTierMissCounters: a storeful server that has never computed the
+// key records a disk miss and computes normally.
+func TestDiskTierMissCounters(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	s := NewServer(Options{Store: st})
+	defer func() {
+		drain(t, s)
+		st.Close()
+	}()
+	rec := post(s, "/v1/iterate", iterateBody("min-min", "det", 1))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Schedd-Cache"); got != "miss" {
+		t.Fatalf("cache = %q, want miss", got)
+	}
+	if got := counterValue(t, s, "serve.disk_misses"); got != 1 {
+		t.Fatalf("disk_misses = %d, want 1", got)
+	}
+}
+
+// TestDrainFlushesWriteBehind: every body computed before Drain returns is
+// durable in the store, even though Puts happen off the request path.
+func TestDrainFlushesWriteBehind(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+	s := NewServer(Options{Store: st})
+	var want [][]byte
+	for seed := uint64(0); seed < 8; seed++ {
+		rec := post(s, "/v1/iterate", iterateBody("sufferage", "random", seed))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("seed %d: status %d", seed, rec.Code)
+		}
+		want = append(want, append([]byte(nil), rec.Body.Bytes()...))
+	}
+	drain(t, s)
+	if got := st.Len(); got != 8 {
+		t.Fatalf("store holds %d keys after drain, want 8", got)
+	}
+	st.Close()
+
+	// The reopened store answers all eight byte-identically.
+	st = openStore(t, dir)
+	s = NewServer(Options{Store: st})
+	defer func() {
+		drain(t, s)
+		st.Close()
+	}()
+	for seed := uint64(0); seed < 8; seed++ {
+		rec := post(s, "/v1/iterate", iterateBody("sufferage", "random", seed))
+		if got := rec.Header().Get("X-Schedd-Cache"); got != "disk" {
+			t.Fatalf("seed %d: cache = %q, want disk", seed, got)
+		}
+		if !bytes.Equal(rec.Body.Bytes(), want[seed]) {
+			t.Fatalf("seed %d: body differs after restart", seed)
+		}
+	}
+}
+
+// failingStore errors on every access; the server must treat that as a miss
+// and keep serving.
+type failingStore struct{}
+
+func (failingStore) Get(string) ([]byte, bool, error) { return nil, false, errors.New("disk gone") }
+func (failingStore) Put(string, []byte) error         { return errors.New("disk gone") }
+
+func TestDiskTierErrorIsAMiss(t *testing.T) {
+	s := NewServer(Options{Store: failingStore{}})
+	defer drain(t, s)
+	rec := post(s, "/v1/iterate", iterateBody("min-min", "det", 7))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: a broken store must not fail requests", rec.Code)
+	}
+	if got := counterValue(t, s, "serve.disk_errors"); got < 1 {
+		t.Fatalf("disk_errors = %d, want >= 1 (read and/or write failure)", got)
+	}
+}
+
+// TestDiskTierBatchItems: batch items resolved from disk report cache
+// "disk" per item and stay byte-identical to singleton responses.
+func TestDiskTierBatchItems(t *testing.T) {
+	dir := t.TempDir()
+	body := iterateBody("sufferage", "random", 3)
+
+	st := openStore(t, dir)
+	s := NewServer(Options{Store: st})
+	singleton := post(s, "/v1/iterate", body)
+	if singleton.Code != http.StatusOK {
+		t.Fatalf("status %d", singleton.Code)
+	}
+	drain(t, s)
+	st.Close()
+
+	st = openStore(t, dir)
+	s = NewServer(Options{Store: st})
+	defer func() {
+		drain(t, s)
+		st.Close()
+	}()
+	item := `{"endpoint":"iterate",` + body[1:]
+	rec := post(s, "/v1/batch", `{"items":[`+item+`]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", rec.Code, rec.Body.String())
+	}
+	out := rec.Body.String()
+	if !bytes.Contains([]byte(out), []byte(`"cache":"disk"`)) {
+		t.Fatalf("batch item not served from disk:\n%s", out)
+	}
+	trimmed := bytes.TrimSuffix(singleton.Body.Bytes(), []byte("\n"))
+	if !bytes.Contains(rec.Body.Bytes(), trimmed) {
+		t.Fatal("batch item body not byte-identical to the singleton response")
+	}
+}

@@ -1,0 +1,114 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The benchmark corpus mimics the serving tier's shape: canonical request
+// keys are long (they encode a whole ETC matrix), bodies are ~1 KiB JSON.
+const benchKeys = 2000
+
+func benchKey(i int) string {
+	return fmt.Sprintf("bench-key-%06d-%0192d", i, i*7919)
+}
+
+func benchBody(i int) []byte {
+	b := make([]byte, 1024)
+	copy(b, fmt.Sprintf(`{"schema":"bench","seq":%d`, i))
+	for j := range b {
+		if b[j] == 0 {
+			b[j] = byte('a' + (i+j)%26)
+		}
+	}
+	return b
+}
+
+func fillStore(b *testing.B, layout Layout) (*Store, string) {
+	b.Helper()
+	dir := b.TempDir()
+	st, err := Open(dir, Options{Layout: layout})
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < benchKeys; i++ {
+		if err := st.Put(benchKey(i), benchBody(i)); err != nil {
+			b.Fatalf("Put: %v", err)
+		}
+	}
+	return st, dir
+}
+
+// BenchmarkStoreGetFull / BenchmarkStoreGetSparse are the two index-layout
+// contenders on the hit path: full pays memory for zero lookup reads,
+// sparse pays one verified disk read per hit for fingerprint-sized memory.
+func benchmarkStoreGet(b *testing.B, layout Layout) {
+	st, _ := fillStore(b, layout)
+	defer st.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body, ok, err := st.Get(benchKey(i % benchKeys))
+		if err != nil || !ok || len(body) != 1024 {
+			b.Fatalf("Get: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func BenchmarkStoreGetFull(b *testing.B)   { benchmarkStoreGet(b, IndexFull) }
+func BenchmarkStoreGetSparse(b *testing.B) { benchmarkStoreGet(b, IndexSparse) }
+
+// BenchmarkStoreGetMiss measures the bloom-filtered miss path — the cost a
+// cold cluster pays per request that has never been computed anywhere.
+func BenchmarkStoreGetMiss(b *testing.B) {
+	st, _ := fillStore(b, IndexSparse)
+	defer st.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := st.Get(fmt.Sprintf("absent-%d", i)); ok || err != nil {
+			b.Fatalf("Get(absent): ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkStorePut measures the write-behind append path (distinct keys,
+// no fsync per record).
+func BenchmarkStorePut(b *testing.B) {
+	st, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	defer st.Close()
+	body := benchBody(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Put(fmt.Sprintf("put-%09d", i), body); err != nil {
+			b.Fatalf("Put: %v", err)
+		}
+	}
+}
+
+// BenchmarkStoreOpenWarm measures cold-start warm-up: replaying and
+// re-indexing a populated store directory, the cost a restarted daemon pays
+// before its first disk hit.
+func benchmarkStoreOpenWarm(b *testing.B, layout Layout) {
+	st, dir := fillStore(b, layout)
+	if err := st.Close(); err != nil {
+		b.Fatalf("Close: %v", err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := Open(dir, Options{Layout: layout})
+		if err != nil {
+			b.Fatalf("Open: %v", err)
+		}
+		if st.Len() != benchKeys {
+			b.Fatalf("Len = %d", st.Len())
+		}
+		b.StopTimer()
+		st.Close()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkStoreOpenWarmFull(b *testing.B)   { benchmarkStoreOpenWarm(b, IndexFull) }
+func BenchmarkStoreOpenWarmSparse(b *testing.B) { benchmarkStoreOpenWarm(b, IndexSparse) }

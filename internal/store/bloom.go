@@ -1,0 +1,75 @@
+package store
+
+import "hash/fnv"
+
+// bloom is a fixed-size bloom filter over keys. It exists so that a Get for
+// a key the store has never seen costs zero disk reads and zero index
+// probes: the common cold-start case is "the LRU missed and the disk has
+// nothing either", and that answer should be as close to free as the
+// memory-hit path.
+//
+// Double hashing (Kirsch–Mitzenmacher): the k probe positions derive from
+// two independent 64-bit FNV-1a halves of one 128-bit sum, g_i = h1 + i*h2.
+// Both hashes are fixed functions of the key bytes — no seeds, no clock —
+// so filter behavior is deterministic across runs and platforms.
+type bloom struct {
+	bits []uint64
+	mask uint64 // len(bits)*64 - 1; the bit count is a power of two
+}
+
+// bloomHashes is k: with the default 2^17 bits and the cache-scale key
+// counts this tier sees (thousands, not millions), four probes keep the
+// false-positive rate far below one in a thousand.
+const bloomHashes = 4
+
+// newBloom builds a filter with at least nbits bits, rounded up to a power
+// of two so probe positions reduce with a mask instead of a modulo.
+func newBloom(nbits int) *bloom {
+	words := 1
+	for words*64 < nbits {
+		words *= 2
+	}
+	return &bloom{bits: make([]uint64, words), mask: uint64(words)*64 - 1}
+}
+
+// hash128 returns two independent 64-bit hashes of key via FNV-1a over the
+// key and over the key with a one-byte domain separator appended.
+func hash128(key string) (h1, h2 uint64) {
+	a := fnv.New64a()
+	a.Write([]byte(key))
+	h1 = a.Sum64()
+	a.Write([]byte{0x9e}) // domain-separate the second half
+	h2 = a.Sum64() | 1    // odd, so g_i strides cover the table
+	return h1, h2
+}
+
+func (b *bloom) insert(key string) {
+	h1, h2 := hash128(key)
+	for i := uint64(0); i < bloomHashes; i++ {
+		pos := (h1 + i*h2) & b.mask
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// maybe reports whether key might be present. False means definitely
+// absent; true means "check the index".
+func (b *bloom) maybe(key string) bool {
+	h1, h2 := hash128(key)
+	for i := uint64(0); i < bloomHashes; i++ {
+		pos := (h1 + i*h2) & b.mask
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fingerprint is the 64-bit key fingerprint used by the sparse index
+// layout. FNV-1a, like the filter's first hash — but kept as a separate
+// named function because the two uses may diverge (the index needs exactly
+// one well-distributed word; the filter needs two).
+func fingerprint(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}

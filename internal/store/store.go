@@ -1,0 +1,519 @@
+// Package store is the crash-safe on-disk result tier behind the serving
+// LRU (ROADMAP item 2): an append-only log of (canonical request key,
+// marshaled response body) records, split into size-rotated segment files,
+// fronted by a bloom filter so misses cost zero disk reads and by one of two
+// in-memory index layouts so hits cost at most a couple of reads.
+//
+// The design is deliberately LSM-shaped but stops before compaction:
+// response bodies are deterministic in their key (the serving layer's core
+// invariant), so a duplicate append is byte-identical by construction and
+// "newest wins" on lookup is indistinguishable from "oldest wins". Nothing
+// is ever rewritten in place, which is what makes recovery trivial: on Open
+// every segment is replayed record by record under a CRC, and the first
+// torn or corrupt record truncates its segment to the valid prefix — a
+// partially flushed tail from a crash is dropped, never served.
+//
+// Two index layouts, benchmarked against each other in bench_test.go:
+//
+//   - IndexFull keeps an exact key → record-location map in memory. Zero
+//     disk reads to locate a record, at the cost of holding every key (the
+//     canonical key encodes the whole ETC matrix, so keys are large).
+//   - IndexSparse keeps only a 64-bit fingerprint → record-locations map.
+//     Memory per key is a fixed few dozen bytes; a lookup reads candidate
+//     records from disk (newest first) and verifies the stored key byte for
+//     byte, so a fingerprint collision costs an extra read, never a wrong
+//     body.
+//
+// Determinism: the store holds bytes produced by the deterministic serving
+// layer and returns them verbatim. No clock, no randomness — the bloom and
+// fingerprint hashes are fixed FNV variants of the key.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Layout selects the in-memory index structure.
+type Layout int
+
+const (
+	// IndexFull maps every exact key to its record location.
+	IndexFull Layout = iota
+	// IndexSparse maps 64-bit key fingerprints to candidate locations and
+	// verifies the stored key on disk at lookup time.
+	IndexSparse
+)
+
+func (l Layout) String() string {
+	if l == IndexSparse {
+		return "sparse"
+	}
+	return "full"
+}
+
+// Defaults for the zero Options value.
+const (
+	DefaultMaxSegmentBytes = 8 << 20
+	DefaultBloomBits       = 1 << 17
+)
+
+// Options configures a Store. The zero value is a working configuration.
+type Options struct {
+	// Layout is the index layout; IndexFull is the default.
+	Layout Layout
+	// MaxSegmentBytes rotates the active segment once it would exceed this
+	// size. 0 means DefaultMaxSegmentBytes.
+	MaxSegmentBytes int64
+	// BloomBits sizes the bloom filter bitset. 0 means DefaultBloomBits.
+	BloomBits int
+}
+
+// Stats is an observational snapshot of a store's state and traffic.
+type Stats struct {
+	// Keys is the number of distinct keys currently readable.
+	Keys int
+	// Segments is the number of segment files.
+	Segments int
+	// RecoveredBytes is how many torn-tail bytes Open truncated.
+	RecoveredBytes int64
+	// BloomNegatives counts Gets answered "absent" by the filter alone —
+	// zero disk reads.
+	BloomNegatives int64
+	// DiskReads counts record reads served from segment files.
+	DiskReads int64
+	// Puts counts appended records; DupPuts counts Puts skipped because the
+	// key was already stored (the body is identical by determinism).
+	Puts    int64
+	DupPuts int64
+}
+
+// recordLoc locates one record inside the segment list.
+type recordLoc struct {
+	seg     int
+	off     int64
+	keyLen  uint32
+	bodyLen uint32
+}
+
+// segment is one append-only log file. Only the last segment is written.
+type segment struct {
+	f    *os.File
+	id   int
+	size int64
+}
+
+// Store is the on-disk result tier. Safe for concurrent use: lookups take a
+// read lock, appends and rotation a write lock.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu     sync.RWMutex
+	closed bool
+	segs   []*segment
+	full   map[string]recordLoc   // IndexFull
+	sparse map[uint64][]recordLoc // IndexSparse; append order = age order
+	filter *bloom
+	keys   int
+
+	recovered                int64
+	bloomNegatives           atomic.Int64
+	diskReads, puts, dupPuts atomic.Int64
+	scratch                  sync.Pool // *[]byte record-encode buffers
+}
+
+// Record layout, little-endian, one per append:
+//
+//	u32 keyLen | u32 bodyLen | key | body | u32 crc32-IEEE(header+key+body)
+//
+// The CRC covers everything before it, so any torn or bit-flipped prefix
+// fails validation and recovery truncates there.
+const (
+	recordHeaderLen  = 8
+	recordTrailerLen = 4
+	// maxRecordPart bounds keyLen and bodyLen read back from disk, so a
+	// corrupt length field cannot drive a giant allocation during recovery.
+	maxRecordPart = 1 << 30
+)
+
+func recordLen(keyLen, bodyLen int) int64 {
+	return int64(recordHeaderLen + keyLen + bodyLen + recordTrailerLen)
+}
+
+func segName(id int) string { return fmt.Sprintf("seg-%06d.log", id) }
+
+// Open opens (or creates) the store rooted at dir, replaying and validating
+// every segment: readable records rebuild the index and bloom filter, and
+// the first invalid record in a segment truncates that segment to its valid
+// prefix (a torn tail from a crash is dropped, never served).
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = DefaultMaxSegmentBytes
+	}
+	if opts.BloomBits <= 0 {
+		opts.BloomBits = DefaultBloomBits
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:    dir,
+		opts:   opts,
+		filter: newBloom(opts.BloomBits),
+	}
+	s.scratch.New = func() any { b := make([]byte, 0, 4096); return &b }
+	if opts.Layout == IndexSparse {
+		s.sparse = make(map[uint64][]recordLoc)
+	} else {
+		s.full = make(map[string]recordLoc)
+	}
+
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Strings(names)
+	// Distinct keys are counted exactly during replay; the set is transient
+	// (dropped after Open) so the sparse layout's steady-state memory stays
+	// fingerprint-sized.
+	seen := make(map[string]struct{})
+	for _, name := range names {
+		var id int
+		if _, err := fmt.Sscanf(filepath.Base(name), "seg-%d.log", &id); err != nil {
+			continue
+		}
+		f, err := os.OpenFile(name, os.O_RDWR, 0o644)
+		if err != nil {
+			s.closeFiles()
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		seg := &segment{f: f, id: id}
+		s.segs = append(s.segs, seg)
+		if err := s.replaySegment(seg, seen); err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+	}
+	s.keys = len(seen)
+	if len(s.segs) == 0 {
+		if err := s.addSegment(0); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// replaySegment validates seg record by record, indexing each valid record
+// and truncating the file at the first invalid one.
+func (s *Store) replaySegment(seg *segment, seen map[string]struct{}) error {
+	info, err := seg.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	total := info.Size()
+	var off int64
+	hdr := make([]byte, recordHeaderLen)
+	var buf []byte
+	for off < total {
+		keyLen, bodyLen, ok := s.readHeader(seg, off, total, hdr)
+		if !ok {
+			break
+		}
+		n := recordLen(int(keyLen), int(bodyLen))
+		if int64(cap(buf)) < n-recordHeaderLen {
+			buf = make([]byte, n-recordHeaderLen)
+		}
+		rest := buf[:n-recordHeaderLen]
+		if _, err := seg.f.ReadAt(rest, off+recordHeaderLen); err != nil {
+			break
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(hdr)
+		crc.Write(rest[:keyLen+bodyLen])
+		if crc.Sum32() != binary.LittleEndian.Uint32(rest[keyLen+bodyLen:]) {
+			break
+		}
+		key := string(rest[:keyLen])
+		s.index(key, recordLoc{seg: len(s.segs) - 1, off: off, keyLen: keyLen, bodyLen: bodyLen})
+		if _, dup := seen[key]; !dup {
+			seen[key] = struct{}{}
+		}
+		off += n
+	}
+	if off < total {
+		s.recovered += total - off
+		if err := seg.f.Truncate(off); err != nil {
+			return fmt.Errorf("store: truncating torn tail of %s: %w", segName(seg.id), err)
+		}
+	}
+	seg.size = off
+	return nil
+}
+
+// readHeader reads and sanity-checks one record header; ok is false when the
+// header itself is torn or the declared lengths cannot fit the file.
+func (s *Store) readHeader(seg *segment, off, total int64, hdr []byte) (keyLen, bodyLen uint32, ok bool) {
+	if off+recordHeaderLen > total {
+		return 0, 0, false
+	}
+	if _, err := seg.f.ReadAt(hdr, off); err != nil {
+		return 0, 0, false
+	}
+	keyLen = binary.LittleEndian.Uint32(hdr)
+	bodyLen = binary.LittleEndian.Uint32(hdr[4:])
+	if keyLen == 0 || keyLen > maxRecordPart || bodyLen > maxRecordPart {
+		return 0, 0, false
+	}
+	if off+recordLen(int(keyLen), int(bodyLen)) > total {
+		return 0, 0, false
+	}
+	return keyLen, bodyLen, true
+}
+
+// index records loc for key in whichever layout is active (newest wins) and
+// inserts the key into the bloom filter.
+func (s *Store) index(key string, loc recordLoc) {
+	if s.full != nil {
+		s.full[key] = loc
+	} else {
+		fp := fingerprint(key)
+		s.sparse[fp] = append(s.sparse[fp], loc)
+	}
+	s.filter.insert(key)
+}
+
+func (s *Store) addSegment(id int) error {
+	name := filepath.Join(s.dir, segName(id))
+	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.segs = append(s.segs, &segment{f: f, id: id})
+	return nil
+}
+
+func (s *Store) closeFiles() {
+	for _, seg := range s.segs {
+		seg.f.Close()
+	}
+}
+
+// Get returns the stored body for key. A bloom-filter negative answers
+// without touching disk; otherwise IndexFull reads exactly one record and
+// IndexSparse reads fingerprint candidates newest-first until the stored key
+// matches byte for byte. The returned slice is freshly allocated and owned
+// by the caller.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, false, fmt.Errorf("store: closed")
+	}
+	if !s.filter.maybe(key) {
+		s.bloomNegatives.Add(1)
+		return nil, false, nil
+	}
+	if s.full != nil {
+		loc, ok := s.full[key]
+		if !ok {
+			return nil, false, nil
+		}
+		body, err := s.readBody(loc)
+		if err != nil {
+			return nil, false, err
+		}
+		return body, true, nil
+	}
+	locs := s.sparse[fingerprint(key)]
+	for i := len(locs) - 1; i >= 0; i-- {
+		loc := locs[i]
+		if int(loc.keyLen) != len(key) {
+			continue
+		}
+		gotKey, body, err := s.readRecord(loc)
+		if err != nil {
+			return nil, false, err
+		}
+		if string(gotKey) == key {
+			return body, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// readBody reads and returns one record's body (IndexFull trusts the exact
+// key map, so the key bytes are skipped).
+func (s *Store) readBody(loc recordLoc) ([]byte, error) {
+	s.diskReads.Add(1)
+	body := make([]byte, loc.bodyLen)
+	if _, err := s.segs[loc.seg].f.ReadAt(body, loc.off+recordHeaderLen+int64(loc.keyLen)); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return body, nil
+}
+
+// readRecord reads one record's key and body (the sparse layout must verify
+// the key before trusting the body).
+func (s *Store) readRecord(loc recordLoc) (key, body []byte, err error) {
+	s.diskReads.Add(1)
+	buf := make([]byte, int(loc.keyLen)+int(loc.bodyLen))
+	if _, err := s.segs[loc.seg].f.ReadAt(buf, loc.off+recordHeaderLen); err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	return buf[:loc.keyLen], buf[loc.keyLen:], nil
+}
+
+// Put appends (key, body) to the active segment, rotating it at the size
+// threshold, and indexes the record. A key already stored is skipped: bodies
+// are deterministic in their key, so the stored bytes are already the right
+// ones. Put does not fsync — durability of the latest writes is Sync's job;
+// a crash in between loses recent records to recovery truncation, never
+// correctness.
+func (s *Store) Put(key string, body []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("store: empty key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if s.contains(key) {
+		s.dupPuts.Add(1)
+		return nil
+	}
+	n := recordLen(len(key), len(body))
+	active := s.segs[len(s.segs)-1]
+	if active.size > 0 && active.size+n > s.opts.MaxSegmentBytes {
+		if err := s.addSegment(active.id + 1); err != nil {
+			return err
+		}
+		active = s.segs[len(s.segs)-1]
+	}
+	bp := s.scratch.Get().(*[]byte)
+	rec := append((*bp)[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(rec, uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[4:], uint32(len(body)))
+	rec = append(rec, key...)
+	rec = append(rec, body...)
+	crc := crc32.ChecksumIEEE(rec)
+	rec = binary.LittleEndian.AppendUint32(rec, crc)
+	_, err := active.f.WriteAt(rec, active.size)
+	*bp = rec
+	s.scratch.Put(bp)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.index(key, recordLoc{seg: len(s.segs) - 1, off: active.size, keyLen: uint32(len(key)), bodyLen: uint32(len(body))})
+	active.size += n
+	s.keys++
+	s.puts.Add(1)
+	return nil
+}
+
+// contains reports whether key is already indexed (exact under IndexFull;
+// verified against disk under IndexSparse). Caller holds mu.
+func (s *Store) contains(key string) bool {
+	if !s.filter.maybe(key) {
+		return false
+	}
+	if s.full != nil {
+		_, ok := s.full[key]
+		return ok
+	}
+	for _, loc := range s.sparse[fingerprint(key)] {
+		if int(loc.keyLen) != len(key) {
+			continue
+		}
+		gotKey, _, err := s.readRecord(loc)
+		if err == nil && string(gotKey) == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Sync flushes the active segment to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if err := s.segs[len(s.segs)-1].f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Close syncs the active segment and closes every file. The store is
+// unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.segs[len(s.segs)-1].f.Sync()
+	s.closeFiles()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Len returns the number of distinct keys readable.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.keys
+}
+
+// Stats returns an observational snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Keys:           s.keys,
+		Segments:       len(s.segs),
+		RecoveredBytes: s.recovered,
+		BloomNegatives: s.bloomNegatives.Load(),
+		DiskReads:      s.diskReads.Load(),
+		Puts:           s.puts.Load(),
+		DupPuts:        s.dupPuts.Load(),
+	}
+}
+
+// InjectTornTail appends n garbage bytes to dir's newest segment file,
+// simulating a write torn mid-record by a crash. Recovery on the next Open
+// must truncate exactly these bytes. Test and chaos-harness helper — never
+// call it on a live store.
+func InjectTornTail(dir string, n int) error {
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("store: no segments in %s", dir)
+	}
+	sort.Strings(names)
+	f, err := os.OpenFile(names[len(names)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	garbage := make([]byte, n)
+	for i := range garbage {
+		garbage[i] = 0xff
+	}
+	_, err = f.Write(garbage)
+	return err
+}

@@ -13,14 +13,15 @@
 # whose name matches PATTERN, and exits 1 if any matched benchmark's ns/op
 # OR allocs/op regressed by more than THRESHOLD percent (default 20); the
 # failure message names each offending benchmark and which metric moved.
-# The default PATTERN covers the batch-heuristic kernels and the serving
-# fast paths (raw-alias cache hits, /v1/batch) this repo's perf work targets.
+# The default PATTERN covers the batch-heuristic kernels, the serving
+# fast paths (raw-alias cache hits, /v1/batch) and the disk result tier
+# (internal/store Get/Put/Open) this repo's perf work targets.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 file="${1:-BENCH_1.json}"
 threshold="${THRESHOLD:-20}"
-pattern="${PATTERN:-min-min|max-min|duplex|sufferage|minmin|BatchKernel|ParallelKernel|Serve}"
+pattern="${PATTERN:-min-min|max-min|duplex|sufferage|minmin|BatchKernel|ParallelKernel|Serve|Store}"
 
 if [ ! -f "$file" ]; then
     echo "benchdiff: $file not found" >&2

@@ -5,11 +5,12 @@
 #   gofmt clean, go vet, build, full test suite, paper self-check, the
 #   schedd serving smoke (ephemeral port, pinned Table-1 trace, cache
 #   byte-identity, span-tree trace leg, fault-injected recovery, panic
-#   isolation, chaos leg, graceful drain), the schedgw cluster smoke
-#   (3 local backends, cluster-vs-singleton byte-identity, batch
-#   split/merge, kill/failover/revive, cluster chaos, drain), the
-#   schedchaos scenario sweep (every builtin phased fault scenario,
-#   single-instance and cluster, every invariant) and the tracing legs
+#   isolation, chaos leg, kill/restart disk-tier recovery, graceful
+#   drain), the schedgw cluster smoke (3 local backends,
+#   cluster-vs-singleton byte-identity, batch split/merge,
+#   kill/failover/revive, cluster chaos, drain), the schedchaos scenario
+#   sweep (every builtin phased fault scenario — single-instance,
+#   cluster and restart-recovery — every invariant) and the tracing legs
 #   (schedd/schedgw -trace-out span streams analyzed by schedtrace
 #   -counts, pinned against scripts/testdata/trace_counts.golden and
 #   gateway_trace_counts.golden). The -race leg covers internal/serve's
@@ -65,4 +66,10 @@ diff -u scripts/testdata/gateway_trace_counts.golden "$tmp/gateway_trace_counts.
 echo "[ok  ] schedgw -trace-out span stream matches the schedtrace golden"
 
 go run ./cmd/schedchaos >/dev/null
-echo "[ok  ] schedchaos scenarios (single-instance + cluster)"
+echo "[ok  ] schedchaos scenarios (single-instance + cluster + restart)"
+
+# The restart-recovery scenario again, alone: the crash-safe disk tier's
+# kill → torn tail → restart → byte-identical disk-hit path is the gate's
+# explicit restart leg, not just one line of the sweep above.
+go run ./cmd/schedchaos -scenario restart-recovery >/dev/null
+echo "[ok  ] restart-recovery: disk tier survives kill/restart byte-identically"
