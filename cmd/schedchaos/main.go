@@ -63,6 +63,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		for _, sc := range chaos.BuiltinRestart() {
 			fmt.Fprintf(stdout, "%-20s seed %-3d [restart, disk tier] %s\n", sc.Name, sc.Seed, sc.Description)
 		}
+		for _, sc := range chaos.BuiltinDisk() {
+			fmt.Fprintf(stdout, "%-20s seed %-3d [disk tier, fault fs] %s\n", sc.Name, sc.Seed, sc.Description)
+		}
 		return nil
 	}
 
@@ -105,6 +108,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return runnable{sc.Name, sc.Description, sc.Seed, 2, 4 * sc.Distinct,
 			func() (*chaos.Report, error) { return chaos.RunRestart(sc) }}
 	}
+	diskRunnable := func(sc chaos.DiskScenario) runnable {
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+		// warm + storm/full + resume/expand + readback.
+		requests := 2*sc.Warm + sc.Resume + 2
+		if sc.DiskFull {
+			requests += 2 * sc.Storm
+		} else {
+			requests += sc.Rounds*sc.Warm + sc.Storm + 2*sc.ProbeAfter
+		}
+		return runnable{sc.Name, sc.Description, sc.Seed, 4, requests,
+			func() (*chaos.Report, error) { return chaos.RunDisk(sc) }}
+	}
 
 	var selected []runnable
 	switch {
@@ -118,6 +135,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		for _, sc := range chaos.BuiltinRestart() {
 			selected = append(selected, restartRunnable(sc))
 		}
+		for _, sc := range chaos.BuiltinDisk() {
+			selected = append(selected, diskRunnable(sc))
+		}
 	default:
 		if sc, err := chaos.ByName(*scenario); err == nil {
 			selected = []runnable{singleRunnable(sc)}
@@ -125,6 +145,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			selected = []runnable{clusterRunnable(csc)}
 		} else if rsc, rerr := chaos.RestartByName(*scenario); rerr == nil {
 			selected = []runnable{restartRunnable(rsc)}
+		} else if dsc, derr := chaos.DiskByName(*scenario); derr == nil {
+			selected = []runnable{diskRunnable(dsc)}
 		} else {
 			return err
 		}

@@ -128,6 +128,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on a secondary listener at this address (e.g. 127.0.0.1:6060); never exposed on -addr")
 		faultInject  = fs.String("fault-inject", "", "STAGING ONLY: wrap the service in the seeded fault injector (e.g. seed=7,latency=0.1:5ms,reject=0.2:503:1,drop=0.05,truncate=0.05)")
 		storeDir     = fs.String("store", "", "crash-safe disk result tier directory (created if missing); after a restart previously computed bodies answer byte-identically with X-Schedd-Cache: disk")
+		storeFaults  = fs.String("store-fault-inject", "", "STAGING ONLY: mount the disk result tier on the seeded fault filesystem (e.g. seed=7,readerr=0.1,writeerr=0.1,syncerr=0.05,shortwrite=0.1,enospc=1048576); requires -store")
 		selfcheck    = fs.Bool("selfcheck", false, "serve on an ephemeral port, verify the pinned Table-1 trace end to end, drain, exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -160,6 +161,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *storeDir != "" && *selfcheck {
 		return usagef("-store cannot be combined with -selfcheck (the selfcheck runs its own restart-recovery leg on a temporary directory)")
 	}
+	var storeFS store.FS
+	if *storeFaults != "" {
+		if *storeDir == "" {
+			return usagef("-store-fault-inject requires -store (it faults the disk tier's filesystem)")
+		}
+		spec, err := store.ParseFaultSpec(*storeFaults)
+		if err != nil {
+			return usagef("-store-fault-inject: %w", err)
+		}
+		storeFS = store.NewFaultFS(nil, spec)
+	}
 	opts := serve.Options{
 		QueueDepth:     *queue,
 		Workers:        *workers,
@@ -167,7 +179,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		RequestTimeout: *timeout,
 	}
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir, store.Options{})
+		st, err := store.Open(*storeDir, store.Options{FS: storeFS})
 		if err != nil {
 			return fmt.Errorf("-store: %w", err)
 		}
@@ -401,6 +413,9 @@ func selfCheck(srv *serve.Server, spanCol *obs.Collector, tracer *obs.Tracer, st
 		return err
 	}
 	if err := storeLeg(tracer, stdout); err != nil {
+		return err
+	}
+	if err := degradeLeg(tracer, stdout); err != nil {
 		return err
 	}
 
@@ -878,6 +893,176 @@ func storeLeg(tracer *obs.Tracer, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(stdout, "[ok  ] restart recovery: disk hit byte-identical across kill/restart, then promoted to a memory hit")
+	return nil
+}
+
+// degradeLeg proves graceful degradation end to end over HTTP: the disk
+// tier sits on a fault filesystem that fails every read while enabled, and
+// the daemon must ride the whole health arc — healthy → offline (read
+// errors) → gated consults → read-probe recovery → degraded → write-probe
+// recovery → healthy — without one client-visible error or changed byte.
+// The LRU is disabled so every request exercises the disk path.
+func degradeLeg(tracer *obs.Tracer, stdout io.Writer) error {
+	dir, err := os.MkdirTemp("", "schedd-selfcheck-degrade-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	// waitFor synchronizes the check with the asynchronous write-behind
+	// goroutine; wall clock shapes only when the leg looks, never behavior.
+	waitFor := func(what string, cond func() bool) error {
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("degrade leg: timed out waiting for %s", what)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return nil
+	}
+	body := func(seed uint64) ([]byte, error) {
+		return json.Marshal(serve.Request{
+			ETC:       experiments.MinMinExampleETC().Values(),
+			Heuristic: "min-min",
+			Ties:      "det",
+			Seed:      seed,
+		})
+	}
+	warmBody, err := body(1)
+	if err != nil {
+		return err
+	}
+
+	ffs := store.NewFaultFS(nil, store.FaultSpec{Seed: 1, ReadErrP: 1})
+	ffs.SetEnabled(false)
+	st, err := store.Open(dir, store.Options{FS: ffs, ProbeAfter: 2})
+	if err != nil {
+		return fmt.Errorf("degrade leg: %w", err)
+	}
+	srv := serve.NewServer(serve.Options{Store: st, CacheEntries: -1, Tracer: tracer})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		st.Close()
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	legErr := func() error {
+		// Healthy: compute, flush behind, serve from disk.
+		first, hdr, err := postIterate(base, warmBody)
+		if err != nil {
+			return fmt.Errorf("degrade leg: %w", err)
+		}
+		if hdr != "miss" {
+			return fmt.Errorf("degrade leg: warm X-Schedd-Cache %q, want miss", hdr)
+		}
+		if err := waitFor("write-behind flush", func() bool { return st.Len() == 1 }); err != nil {
+			return err
+		}
+		if _, hdr, err = postIterate(base, warmBody); err != nil {
+			return fmt.Errorf("degrade leg: %w", err)
+		} else if hdr != "disk" {
+			return fmt.Errorf("degrade leg: healthy repeat X-Schedd-Cache %q, want disk", hdr)
+		}
+
+		// Storm: the read fails, the response falls through to compute
+		// byte-identically, the tier goes offline.
+		ffs.SetEnabled(true)
+		b, hdr, err := postIterate(base, warmBody)
+		if err != nil {
+			return fmt.Errorf("degrade leg: %w", err)
+		}
+		if hdr != "miss" || !bytes.Equal(b, first) {
+			return fmt.Errorf("degrade leg: faulted post cache %q, want byte-identical miss fallthrough", hdr)
+		}
+		if got := st.HealthState(); got != "offline" {
+			return fmt.Errorf("degrade leg: health %q after read storm, want offline", got)
+		}
+		// Offline: the next consult is gated — no disk I/O at all.
+		if b, _, err = postIterate(base, warmBody); err != nil {
+			return fmt.Errorf("degrade leg: %w", err)
+		} else if !bytes.Equal(b, first) {
+			return fmt.Errorf("degrade leg: gated post not byte-identical")
+		}
+
+		// Repaired: the next consult is the read probe (ProbeAfter=2) and
+		// serves the stored body; offline → degraded.
+		ffs.SetEnabled(false)
+		if _, hdr, err = postIterate(base, warmBody); err != nil {
+			return fmt.Errorf("degrade leg: %w", err)
+		} else if hdr != "disk" {
+			return fmt.Errorf("degrade leg: probe post X-Schedd-Cache %q, want disk", hdr)
+		}
+		if got := st.HealthState(); got != "degraded" {
+			return fmt.Errorf("degrade leg: health %q after read probe, want degraded (writes unproven)", got)
+		}
+
+		// Degraded: fresh bodies drive the write-probe ladder; the first
+		// append is dropped (counted) and the probe append recovers the tier.
+		for seed := uint64(2); seed <= 3; seed++ {
+			fresh, err := body(seed)
+			if err != nil {
+				return err
+			}
+			if _, _, err := postIterate(base, fresh); err != nil {
+				return fmt.Errorf("degrade leg: %w", err)
+			}
+		}
+		if err := waitFor("write-probe recovery", func() bool { return st.Health() == store.Healthy }); err != nil {
+			return err
+		}
+
+		counters, err := counterSnapshot(base)
+		if err != nil {
+			return fmt.Errorf("degrade leg: %w", err)
+		}
+		if counters["serve.disk_skipped"] != 1 || counters["serve.disk_write_drops"] < 1 || counters["serve.disk_errors"] < 1 {
+			return fmt.Errorf("degrade leg: counters skipped=%d drops=%d errors=%d, want 1/>=1/>=1",
+				counters["serve.disk_skipped"], counters["serve.disk_write_drops"], counters["serve.disk_errors"])
+		}
+		resp, err := http.Get(base + "/statusz")
+		if err != nil {
+			return err
+		}
+		stBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		var status struct {
+			Disk *struct {
+				Health     string `json:"health"`
+				Skipped    int64  `json:"skipped"`
+				WriteDrops int64  `json:"write_drops"`
+			} `json:"disk"`
+		}
+		if err := json.Unmarshal(stBody, &status); err != nil || status.Disk == nil {
+			return fmt.Errorf("degrade leg: statusz disk section missing: %v (%s)", err, stBody)
+		}
+		if status.Disk.Health != "healthy" || status.Disk.Skipped != 1 || status.Disk.WriteDrops < 1 {
+			return fmt.Errorf("degrade leg: statusz disk %+v, want healthy with 1 skipped and >=1 drops", status.Disk)
+		}
+		return nil
+	}()
+
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && legErr == nil {
+		legErr = fmt.Errorf("degrade leg shutdown: %w", err)
+	}
+	if err := srv.Drain(sctx); err != nil && legErr == nil {
+		legErr = fmt.Errorf("degrade leg drain: %w", err)
+	}
+	if err := st.Close(); err != nil && legErr == nil {
+		legErr = fmt.Errorf("degrade leg: %w", err)
+	}
+	if legErr != nil {
+		return legErr
+	}
+	fmt.Fprintln(stdout, "[ok  ] graceful degradation: offline disk never client-visible — byte-identical fallthrough, gated consults, probe recovery to healthy")
+	fmt.Fprintln(stdout, "[ok  ] statusz reports the disk health arc (healthy, 1 gated consult, counted write drops)")
 	return nil
 }
 

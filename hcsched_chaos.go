@@ -34,6 +34,10 @@ type (
 	ChaosPhaseReport = chaos.PhaseReport
 	// ChaosInvariant is one machine-checked invariant's verdict.
 	ChaosInvariant = chaos.InvariantResult
+	// DiskChaosScenario is a phased sick-disk schedule for a serve stack
+	// with a fault-injected result tier: warm, fault storm (or ENOSPC),
+	// probe-ladder recovery, readback.
+	DiskChaosScenario = chaos.DiskScenario
 	// PanicRecoveredEvent records one isolated worker panic in an observer.
 	PanicRecoveredEvent = obs.PanicRecovered
 )
@@ -67,3 +71,17 @@ func BuiltinChaosScenarios() []ChaosScenario { return chaos.Builtin() }
 
 // ChaosScenarioByName finds a builtin scenario by name.
 func ChaosScenarioByName(name string) (ChaosScenario, error) { return chaos.ByName(name) }
+
+// RunDiskChaos replays one disk scenario — a serve stack whose result tier
+// sits on a seeded fault filesystem — and machine-checks graceful
+// degradation: byte-identical responses throughout, zero client-visible
+// disk errors, exact drop accounting, and a health machine that ends
+// healthy. Same scenario + seed, byte-identical report.
+func RunDiskChaos(sc DiskChaosScenario) (*ChaosReport, error) { return chaos.RunDisk(sc) }
+
+// BuiltinDiskChaosScenarios returns the stock disk scenarios (disk-fault,
+// disk-full) with pinned seeds.
+func BuiltinDiskChaosScenarios() []DiskChaosScenario { return chaos.BuiltinDisk() }
+
+// DiskChaosScenarioByName finds a builtin disk scenario by name.
+func DiskChaosScenarioByName(name string) (DiskChaosScenario, error) { return chaos.DiskByName(name) }

@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDiskScenariosPass replays every builtin disk scenario and requires a
+// clean verdict: byte-identity under disk faults, graceful offline gating,
+// exact ENOSPC accounting and a health machine that ends Healthy.
+func TestDiskScenariosPass(t *testing.T) {
+	for _, sc := range BuiltinDisk() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := RunDisk(sc)
+			if err != nil {
+				t.Fatalf("RunDisk: %v", err)
+			}
+			for _, inv := range rep.Invariants {
+				if !inv.OK {
+					t.Errorf("invariant %s violated: %s", inv.Name, inv.Detail)
+				}
+			}
+			if !rep.Pass {
+				b, _ := rep.JSON()
+				t.Fatalf("scenario failed:\n%s", b)
+			}
+		})
+	}
+}
+
+// TestDiskReportDeterministic pins the replay promise for both arcs: same
+// scenario, same seed, byte-identical verdict report — the reader-side
+// decision stream and the writer-serial accounting replay exactly, and
+// nothing interleaving-dependent leaks into the report.
+func TestDiskReportDeterministic(t *testing.T) {
+	for _, name := range []string{"disk-fault", "disk-full"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, err := DiskByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := RunDisk(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunDisk(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aj, err := a.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bj, err := b.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(aj, bj) {
+				t.Fatalf("reports differ across identical runs:\n--- first\n%s\n--- second\n%s", aj, bj)
+			}
+		})
+	}
+}
+
+// TestDiskScenarioValidation covers the scenario validator for both arcs.
+func TestDiskScenarioValidation(t *testing.T) {
+	base := func() DiskScenario {
+		return DiskScenario{
+			Name: "t", Seed: 1, Tasks: 4, Machines: 2,
+			Warm: 2, Storm: 2, Rounds: 1, Resume: 3,
+			FaultSpec: "seed=1,readerr=0.5", ProbeAfter: 2,
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*DiskScenario)
+	}{
+		{"no name", func(sc *DiskScenario) { sc.Name = "" }},
+		{"panic seed", func(sc *DiskScenario) { sc.Seed = PanicSeed }},
+		{"zero warm", func(sc *DiskScenario) { sc.Warm = 0 }},
+		{"zero storm", func(sc *DiskScenario) { sc.Storm = 0 }},
+		{"zero probe cadence", func(sc *DiskScenario) { sc.ProbeAfter = 0 }},
+		{"resume too short for probe ladder", func(sc *DiskScenario) { sc.Resume = sc.ProbeAfter }},
+		{"bad fault spec", func(sc *DiskScenario) { sc.FaultSpec = "bogus=1" }},
+		{"no read faults", func(sc *DiskScenario) { sc.FaultSpec = "seed=1,writeerr=0.5" }},
+		{"zero storm rounds", func(sc *DiskScenario) { sc.Rounds = 0 }},
+		{"disk-full with fault spec", func(sc *DiskScenario) { sc.DiskFull = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := base()
+			tc.mutate(&sc)
+			if _, err := RunDisk(sc); err == nil {
+				t.Fatal("invalid scenario accepted")
+			}
+		})
+	}
+	t.Run("valid disk-full", func(t *testing.T) {
+		sc := base()
+		sc.DiskFull = true
+		sc.FaultSpec = ""
+		sc.Rounds = 0
+		if err := sc.validate(); err != nil {
+			t.Fatalf("valid disk-full scenario rejected: %v", err)
+		}
+	})
+}
+
+// TestDiskByName covers lookup of builtin disk scenarios.
+func TestDiskByName(t *testing.T) {
+	if _, err := DiskByName("disk-fault"); err != nil {
+		t.Fatalf("disk-fault: %v", err)
+	}
+	if _, err := DiskByName("disk-full"); err != nil {
+		t.Fatalf("disk-full: %v", err)
+	}
+	if _, err := DiskByName("nope"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

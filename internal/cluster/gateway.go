@@ -862,12 +862,17 @@ func (g *Gateway) fetchJSON(url string) json.RawMessage {
 }
 
 // gwBackendStatus is one backend's row in the aggregated /statusz body.
+// DiskHealth/DiskWriteDrops surface each backend's result-tier health state
+// machine (healthy/degraded/offline) and dropped write-behind appends;
+// both are omitted for backends running without a disk tier.
 type gwBackendStatus struct {
-	Name    string `json:"name"`
-	URL     string `json:"url"`
-	Health  string `json:"health"`
-	Breaker string `json:"breaker"`
-	Routed  int64  `json:"routed"`
+	Name           string `json:"name"`
+	URL            string `json:"url"`
+	Health         string `json:"health"`
+	Breaker        string `json:"breaker"`
+	Routed         int64  `json:"routed"`
+	DiskHealth     string `json:"disk_health,omitempty"`
+	DiskWriteDrops int64  `json:"disk_write_drops,omitempty"`
 }
 
 // gwStatus is the aggregated /statusz body.
@@ -882,6 +887,23 @@ type gwStatus struct {
 	Failovers     int64             `json:"failovers"`
 	Unavailable   int64             `json:"unavailable"`
 	Backends      []gwBackendStatus `json:"backends"`
+}
+
+// diskStatus fetches one backend's /statusz and extracts its disk-tier
+// section. Backends without a disk tier (or unreachable ones) report
+// ("", 0), which the omitempty tags elide from the aggregated row.
+func (g *Gateway) diskStatus(url string) (string, int64) {
+	body := g.fetchJSON(url + "/statusz")
+	var st struct {
+		Disk *struct {
+			Health     string `json:"health"`
+			WriteDrops int64  `json:"write_drops"`
+		} `json:"disk"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil || st.Disk == nil {
+		return "", 0
+	}
+	return st.Disk.Health, st.Disk.WriteDrops
 }
 
 // handleStatusz renders the cluster's operational summary: gateway
@@ -912,13 +934,15 @@ func (g *Gateway) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, name := range g.router.Members() {
 		b := g.backends[name]
-		st.Backends = append(st.Backends, gwBackendStatus{
+		row := gwBackendStatus{
 			Name:    name,
 			URL:     b.url,
 			Health:  g.probe(b.url + "/healthz"),
 			Breaker: b.cl.BreakerState(),
 			Routed:  counters["gateway.routed."+name],
-		})
+		}
+		row.DiskHealth, row.DiskWriteDrops = g.diskStatus(b.url)
+		st.Backends = append(st.Backends, row)
 	}
 	body, err := json.MarshalIndent(st, "", "  ")
 	if err != nil {

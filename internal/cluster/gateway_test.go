@@ -424,3 +424,51 @@ func TestGatewayRejectsBadConfig(t *testing.T) {
 		t.Fatal("NewGateway with duplicate names succeeded")
 	}
 }
+
+// TestGatewayDiskStatusAggregation: backends running a disk result tier
+// surface their tier health state and write-drop counts in the aggregated
+// /statusz rows; storeless backends omit the fields entirely.
+func TestGatewayDiskStatusAggregation(t *testing.T) {
+	local, err := StartLocalStores(2, serve.Options{Workers: 2}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { local.Close() })
+	g, err := NewGateway(Options{Backends: local.Backends(), Client: testClientOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	postHandler(t, g.Handler(), "/v1/map", mapBody(1))
+
+	rec := httptest.NewRecorder()
+	g.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statusz", nil))
+	var st gwStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("statusz: %v\n%s", err, rec.Body.String())
+	}
+	if len(st.Backends) != 2 {
+		t.Fatalf("statusz backends: %+v", st.Backends)
+	}
+	for _, b := range st.Backends {
+		if b.DiskHealth != "healthy" {
+			t.Fatalf("backend %s disk_health = %q, want healthy", b.Name, b.DiskHealth)
+		}
+	}
+
+	// Storeless cluster: the fields never appear in the JSON at all.
+	_, g2, _ := startCluster(t, 1, Options{})
+	rec2 := httptest.NewRecorder()
+	g2.Handler().ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/statusz", nil))
+	if strings.Contains(rec2.Body.String(), "disk_health") {
+		t.Fatalf("storeless statusz leaks disk fields:\n%s", rec2.Body.String())
+	}
+	var st2 gwStatus
+	if err := json.Unmarshal(rec2.Body.Bytes(), &st2); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range st2.Backends {
+		if b.DiskHealth != "" || b.DiskWriteDrops != 0 {
+			t.Fatalf("storeless backend %s reports disk fields: %+v", b.Name, b)
+		}
+	}
+}

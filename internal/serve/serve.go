@@ -127,10 +127,13 @@ type Server struct {
 
 	// Disk tier (nil/unused when Options.Store is nil): reads happen inline
 	// in resolve; writes flow worker → storeQ → storeWriter goroutine.
-	store     ResultStore
-	storeQ    chan storeWrite
-	storeDone chan struct{}
-	storeStop sync.Once
+	// tierHealth is non-nil when the store also satisfies TierHealth, in
+	// which case both paths pass its consult gates (graceful degradation).
+	store      ResultStore
+	tierHealth TierHealth
+	storeQ     chan storeWrite
+	storeDone  chan struct{}
+	storeStop  sync.Once
 
 	queued    atomic.Int64
 	inflightN atomic.Int64
@@ -157,6 +160,10 @@ type Server struct {
 	mDiskWrites *obs.Counter
 	mDiskDrops  *obs.Counter
 	mDiskErrors *obs.Counter
+	// Degradation observability (health-aware stores only): consults the
+	// gate declined, and the current health state as a gauge.
+	mDiskSkipped *obs.Counter
+	gDiskHealth  *obs.Gauge
 	// Per-outcome response counters. Every scheduling arrival resolves to
 	// exactly one of these, so requests_total == 2xx+4xx+5xx always — the
 	// conservation invariant the chaos harness checks after every run.
@@ -273,6 +280,12 @@ func NewServer(opts Options) *Server {
 		s.mDiskWrites = reg.Counter("serve.disk_writes")
 		s.mDiskDrops = reg.Counter("serve.disk_write_drops")
 		s.mDiskErrors = reg.Counter("serve.disk_errors")
+		if th, ok := opts.Store.(TierHealth); ok {
+			s.tierHealth = th
+			s.mDiskSkipped = reg.Counter("serve.disk_skipped")
+			s.gDiskHealth = reg.Gauge("serve.disk_health")
+			s.noteDiskHealth()
+		}
 		go s.storeWriter()
 	}
 	s.mux = http.NewServeMux()
@@ -601,12 +614,15 @@ func (s *Server) resolve(rctx context.Context, p *parsedRequest, tr *obs.Trace) 
 			return cached, "hit", nil
 		}
 	}
-	if s.store != nil {
+	if s.store != nil && s.consultDisk() {
 		// Disk tier: a read-through consult between the LRU and compute. An
 		// I/O error is a miss with a counter — the store must never be able
-		// to fail a request that compute can still answer.
+		// to fail a request that compute can still answer. While the store
+		// reports itself offline, consultDisk skips this block entirely (no
+		// disk_lookup span) except for request-counted recovery probes.
 		sp := tr.Start("disk_lookup")
 		body, ok, err := s.store.Get(p.key)
+		s.noteDiskHealth()
 		switch {
 		case err != nil:
 			sp.SetErr(CodeInternal)
@@ -879,8 +895,24 @@ type statusState struct {
 	Coalesced     int64              `json:"coalesced"`
 	CacheHitRatio float64            `json:"cache_hit_ratio"`
 	Gauges        map[string]float64 `json:"gauges"`
+	Disk          *statusDisk        `json:"disk,omitempty"`
 	LatencyMS     statusStage        `json:"latency_ms"`
 	Stages        []statusStage      `json:"stages,omitempty"`
+}
+
+// statusDisk is the /statusz disk-tier section, present only when a store
+// is configured. Health is present only when the store reports it (the
+// TierHealth contract); the counters make a silently shrinking disk tier —
+// dropped writes, skipped consults, quarantine-style errors — diagnosable
+// at a glance.
+type statusDisk struct {
+	Health     string `json:"health,omitempty"`
+	Hits       int64  `json:"hits"`
+	Misses     int64  `json:"misses"`
+	Writes     int64  `json:"writes"`
+	WriteDrops int64  `json:"write_drops"`
+	Errors     int64  `json:"errors"`
+	Skipped    int64  `json:"skipped"`
 }
 
 // handleStatusz renders the operational summary. Quantiles come from
@@ -909,6 +941,19 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	st.Coalesced = counters["serve.coalesced_total"]
 	if looked := st.CacheHits + st.CacheMisses; looked > 0 {
 		st.CacheHitRatio = float64(st.CacheHits) / float64(looked)
+	}
+	if s.store != nil {
+		st.Disk = &statusDisk{
+			Hits:       counters["serve.disk_hits"],
+			Misses:     counters["serve.disk_misses"],
+			Writes:     counters["serve.disk_writes"],
+			WriteDrops: counters["serve.disk_write_drops"],
+			Errors:     counters["serve.disk_errors"],
+			Skipped:    counters["serve.disk_skipped"],
+		}
+		if s.tierHealth != nil {
+			st.Disk.Health = s.tierHealth.HealthState()
+		}
 	}
 	for _, g := range snap.Gauges {
 		st.Gauges[g.Name] = g.Value

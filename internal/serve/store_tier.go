@@ -25,6 +25,21 @@ type ResultStore interface {
 	Put(key string, body []byte) error
 }
 
+// TierHealth is the optional health contract a ResultStore may additionally
+// satisfy (store.Store does). When it does, the server degrades gracefully
+// instead of hammering a sick disk: ConsultRead gates the read-through
+// consult (false skips disk_lookup entirely — no span, no I/O — counted in
+// serve.disk_skipped), ConsultWrite gates each write-behind append (false
+// drops it, counted in serve.disk_write_drops), and HealthState feeds the
+// serve.disk_health gauge and /statusz. Implementations must keep the
+// gating request-counted, never clock-based, so degradation and recovery
+// replay deterministically.
+type TierHealth interface {
+	ConsultRead() bool
+	ConsultWrite() bool
+	HealthState() string
+}
+
 // storeQueueDepth bounds the write-behind channel. Overflow drops the write
 // (counted in serve.disk_write_drops) rather than stalling a worker: a
 // dropped write costs one future recompute, never correctness.
@@ -50,15 +65,66 @@ func (s *Server) storeEnqueue(key string, body []byte) {
 }
 
 // storeWriter drains the write-behind channel until it is closed (by Drain,
-// after the worker pool has exited), then signals storeDone.
+// after the worker pool has exited), then signals storeDone. When the store
+// reports health, each append first passes the ConsultWrite gate: a
+// degraded/offline disk sees only its probe quota and every other pending
+// write is dropped (counted) — a drop costs one future recompute, never
+// correctness, and never a client-visible error.
 func (s *Server) storeWriter() {
 	defer close(s.storeDone)
 	for w := range s.storeQ {
+		if s.tierHealth != nil && !s.tierHealth.ConsultWrite() {
+			s.mDiskDrops.Inc()
+			s.noteDiskHealth()
+			continue
+		}
 		if err := s.store.Put(w.key, w.body); err != nil {
 			s.mDiskErrors.Inc()
+			s.noteDiskHealth()
 			continue
 		}
 		s.mDiskWrites.Inc()
+		s.noteDiskHealth()
+	}
+}
+
+// consultDisk reports whether resolve should consult the disk tier for this
+// request. Health-blind stores always consult; a health-aware store that
+// answers "don't" (offline, between probes) is skipped entirely — the
+// request falls through to compute/memory byte-identically.
+func (s *Server) consultDisk() bool {
+	if s.tierHealth == nil {
+		return true
+	}
+	if s.tierHealth.ConsultRead() {
+		return true
+	}
+	s.mDiskSkipped.Inc()
+	s.noteDiskHealth()
+	return false
+}
+
+// noteDiskHealth refreshes the serve.disk_health gauge (0 healthy,
+// 1 degraded, 2 offline) after a disk op or gate decision. Wall-clock-free
+// and observational only.
+func (s *Server) noteDiskHealth() {
+	if s.tierHealth == nil {
+		return
+	}
+	s.gDiskHealth.Set(diskHealthLevel(s.tierHealth.HealthState()))
+}
+
+// diskHealthLevel maps a TierHealth state name onto the gauge scale.
+func diskHealthLevel(state string) float64 {
+	switch state {
+	case "healthy":
+		return 0
+	case "degraded":
+		return 1
+	case "offline":
+		return 2
+	default:
+		return -1
 	}
 }
 

@@ -2,9 +2,12 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/store"
 )
@@ -181,5 +184,111 @@ func TestDiskTierBatchItems(t *testing.T) {
 	trimmed := bytes.TrimSuffix(singleton.Body.Bytes(), []byte("\n"))
 	if !bytes.Contains(rec.Body.Bytes(), trimmed) {
 		t.Fatal("batch item body not byte-identical to the singleton response")
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes. Test-only
+// synchronization with the asynchronous write-behind goroutine — wall clock
+// never shapes server behavior, only when the test looks at it.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestDiskTierGracefulDegradation drives a health-aware store through the
+// whole failure arc under a live server — healthy → offline (read errors)
+// → skipped consults → probe recovery → degraded → healthy — and checks
+// the client never sees any of it: every response for the same request is
+// byte-identical and 200 regardless of disk state.
+func TestDiskTierGracefulDegradation(t *testing.T) {
+	ffs := store.NewFaultFS(nil, store.FaultSpec{Seed: 1, ReadErrP: 1})
+	ffs.SetEnabled(false)
+	st, err := store.Open(t.TempDir(), store.Options{FS: ffs, ProbeAfter: 2})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	// CacheEntries: -1 disables the LRU so every request consults the disk
+	// tier — the test needs the disk on the path, not memory hits.
+	s := NewServer(Options{Store: st, CacheEntries: -1})
+	defer func() {
+		drain(t, s)
+		st.Close()
+	}()
+	body := iterateBody("min-min", "det", 7)
+
+	// Healthy: miss → computed → written behind → served from disk.
+	first := post(s, "/v1/iterate", body)
+	if first.Code != http.StatusOK || first.Header().Get("X-Schedd-Cache") != "miss" {
+		t.Fatalf("warm post: %d %q", first.Code, first.Header().Get("X-Schedd-Cache"))
+	}
+	waitFor(t, "write-behind flush", func() bool { return st.Len() == 1 })
+	if rec := post(s, "/v1/iterate", body); rec.Header().Get("X-Schedd-Cache") != "disk" {
+		t.Fatalf("healthy repeat cache = %q, want disk", rec.Header().Get("X-Schedd-Cache"))
+	}
+
+	// Read storm: the disk Get fails, the request falls through to compute
+	// byte-identically, and the store goes offline.
+	ffs.SetEnabled(true)
+	rec := post(s, "/v1/iterate", body)
+	if rec.Code != http.StatusOK || rec.Header().Get("X-Schedd-Cache") != "miss" {
+		t.Fatalf("faulted post: %d %q, want 200 miss fallthrough", rec.Code, rec.Header().Get("X-Schedd-Cache"))
+	}
+	if !bytes.Equal(first.Body.Bytes(), rec.Body.Bytes()) {
+		t.Fatal("fallthrough body not byte-identical to the healthy response")
+	}
+	if got := st.HealthState(); got != "offline" {
+		t.Fatalf("store health = %q, want offline", got)
+	}
+
+	// Offline: the next consult is gated — no disk I/O at all, counted.
+	rec = post(s, "/v1/iterate", body)
+	if rec.Code != http.StatusOK || !bytes.Equal(first.Body.Bytes(), rec.Body.Bytes()) {
+		t.Fatal("gated post not byte-identical 200")
+	}
+	if got := counterValue(t, s, "serve.disk_skipped"); got != 1 {
+		t.Fatalf("disk_skipped = %d, want 1", got)
+	}
+
+	// Disk repaired: the next consult is the read probe (ProbeAfter=2) and
+	// serves the stored body again; health steps offline → degraded.
+	ffs.SetEnabled(false)
+	rec = post(s, "/v1/iterate", body)
+	if got := rec.Header().Get("X-Schedd-Cache"); got != "disk" {
+		t.Fatalf("probe post cache = %q, want disk", got)
+	}
+	if got := st.HealthState(); got != "degraded" {
+		t.Fatalf("store health = %q, want degraded (writes unproven)", got)
+	}
+
+	// Degraded: fresh keys compute; the write-behind gate drops the first
+	// append and lets the second through as the write probe → healthy.
+	post(s, "/v1/iterate", iterateBody("min-min", "det", 8))
+	post(s, "/v1/iterate", iterateBody("min-min", "det", 9))
+	waitFor(t, "write-probe recovery", func() bool { return st.Health() == store.Healthy })
+	if got := counterValue(t, s, "serve.disk_write_drops"); got < 1 {
+		t.Fatalf("disk_write_drops = %d, want >= 1", got)
+	}
+	if got := counterValue(t, s, "serve.disk_errors"); got < 1 {
+		t.Fatalf("disk_errors = %d, want >= 1 (the storm read)", got)
+	}
+
+	// /statusz surfaces the whole arc.
+	req := httptest.NewRequest(http.MethodGet, "/statusz", nil)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	var status struct {
+		Disk *statusDisk `json:"disk"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &status); err != nil || status.Disk == nil {
+		t.Fatalf("statusz disk section missing: err=%v body=%s", err, w.Body.String())
+	}
+	if status.Disk.Health != "healthy" || status.Disk.Skipped != 1 || status.Disk.WriteDrops < 1 {
+		t.Fatalf("statusz disk = %+v, want healthy, 1 skipped, >=1 drops", status.Disk)
 	}
 }

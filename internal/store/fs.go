@@ -1,0 +1,62 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem seam under the store: the handful of operations the
+// segment log performs, as an interface, so tests and the chaos harness can
+// interpose a fault-injecting filesystem (FaultFS) between the store and the
+// real disk. Production uses OSFS, whose methods are thin forwards to the os
+// package — the seam adds one interface call per I/O, nothing else (the
+// BenchmarkStore* suite gates that it stays inside the benchdiff threshold).
+type FS interface {
+	// MkdirAll creates the store directory (and parents) if absent.
+	MkdirAll(dir string, perm os.FileMode) error
+	// Glob lists existing segment files by pattern.
+	Glob(pattern string) ([]string, error)
+	// OpenFile opens or creates one segment file.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+}
+
+// File is one open segment file. The store only ever reads and writes at
+// explicit offsets (positional I/O keeps concurrent readers seek-free),
+// truncates during torn-tail recovery, and syncs for durability points.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+	// Size reports the file's current length (recovery replays up to it).
+	Size() (int64, error)
+}
+
+// OSFS is the real, os-backed filesystem — the default when Options.FS is
+// nil.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string, perm os.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (OSFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// osFile adapts *os.File to the File interface (Stat → Size).
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}

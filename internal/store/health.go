@@ -1,0 +1,138 @@
+package store
+
+import "sync/atomic"
+
+// Health is the store's position in the disk-health state machine:
+//
+//	Healthy  --write/sync error or ENOSPC-->  Degraded (read-only)
+//	Healthy  --------read error------------>  Offline
+//	Degraded --------read error------------>  Offline
+//	Offline  --successful read probe------->  Degraded
+//	Degraded --successful write probe------>  Healthy
+//
+// Degraded means the disk still answers reads but writes are suspect: the
+// serve tier keeps serving disk hits and drops write-behind appends (counted,
+// never client-visible). Offline means even reads fail: the serve tier skips
+// disk_lookup entirely and serves from memory/compute alone.
+//
+// Recovery is request-counted, never clock-based (the wall clock must not
+// influence behavior): while Offline, every ProbeAfter-th read consult
+// probes the disk with one real read; while Degraded, every ProbeAfter-th
+// write consult lets the append through as a probe. A successful probe steps
+// the machine back one state — Offline → Degraded → Healthy — so a disk
+// must prove both reads and writes before the tier trusts it again.
+type Health int32
+
+const (
+	// Healthy: reads and writes both trusted.
+	Healthy Health = iota
+	// Degraded: read-only — disk hits served, appends dropped except probes.
+	Degraded
+	// Offline: disk untouched except read probes.
+	Offline
+)
+
+// String reports the state name used in /statusz, verdict reports and logs.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Offline:
+		return "offline"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultProbeAfter is the recovery-probe cadence when Options.ProbeAfter is
+// zero: every 8th consult in a sick state attempts one real disk op.
+const DefaultProbeAfter = 8
+
+// health holds the state machine's moving parts. All transitions are CAS'd
+// against the state observed by the op that triggered them, so a racing op
+// holding a stale view can never skip the machine over a state (e.g. a
+// write-behind Put failing while the store has already gone Offline must not
+// drag it back to Degraded).
+type health struct {
+	state     atomic.Int32
+	readTick  atomic.Uint64
+	writeTick atomic.Uint64
+
+	degradations atomic.Int64
+	offlines     atomic.Int64
+	recoveries   atomic.Int64
+}
+
+// noteWriteError records a failed write/sync/ENOSPC: Healthy → Degraded.
+// A Degraded or Offline store stays where it is (a failed write probe just
+// leaves it Degraded; it must never mask Offline).
+func (h *health) noteWriteError() {
+	if h.state.CompareAndSwap(int32(Healthy), int32(Degraded)) {
+		h.degradations.Add(1)
+	}
+}
+
+// noteReadError records a failed read: any state → Offline.
+func (h *health) noteReadError() {
+	for {
+		cur := h.state.Load()
+		if cur == int32(Offline) {
+			return
+		}
+		if h.state.CompareAndSwap(cur, int32(Offline)) {
+			h.offlines.Add(1)
+			return
+		}
+	}
+}
+
+// noteReadOK records a successful read: Offline → Degraded (reads proven;
+// writes still unproven). Healthy and Degraded are unchanged — ordinary
+// successful reads are not probes.
+func (h *health) noteReadOK() {
+	if h.state.CompareAndSwap(int32(Offline), int32(Degraded)) {
+		h.recoveries.Add(1)
+	}
+}
+
+// noteWriteOK records a successful append+sync: Degraded → Healthy.
+func (h *health) noteWriteOK() {
+	if h.state.CompareAndSwap(int32(Degraded), int32(Healthy)) {
+		h.recoveries.Add(1)
+	}
+}
+
+// Health reports the store's current health state.
+func (s *Store) Health() Health { return Health(s.health.state.Load()) }
+
+// HealthState reports the current state name ("healthy", "degraded",
+// "offline") — the serve tier's TierHealth hook.
+func (s *Store) HealthState() string { return s.Health().String() }
+
+// ConsultRead reports whether a Get should touch the disk. While Healthy or
+// Degraded it always should. While Offline it counts consults and lets every
+// ProbeAfter-th one through as a recovery probe (the Get itself is the
+// probe: its read outcome feeds noteReadOK/noteReadError).
+func (s *Store) ConsultRead() bool {
+	if Health(s.health.state.Load()) != Offline {
+		return true
+	}
+	return s.health.readTick.Add(1)%uint64(s.probeAfter) == 0
+}
+
+// ConsultWrite reports whether a Put should touch the disk. Healthy: always.
+// Offline: never (reads must recover first). Degraded: every ProbeAfter-th
+// consult goes through as a write probe whose outcome feeds
+// noteWriteOK/noteWriteError.
+func (s *Store) ConsultWrite() bool {
+	switch Health(s.health.state.Load()) {
+	case Healthy:
+		return true
+	case Degraded:
+		return s.health.writeTick.Add(1)%uint64(s.probeAfter) == 0
+	default:
+		return false
+	}
+}

@@ -1,0 +1,39 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestMain is the package's goroutine-leak gate (same pattern as
+// internal/serve): the store spawns no goroutines of its own, so once the
+// suite — including the -race hammer's worker fan-out — finishes, the
+// goroutine count must return to (near) the pre-suite baseline.
+func TestMain(m *testing.M) {
+	baseline := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		// Allow a small slack for runtime/testing internals, and poll: test
+		// goroutines unwind asynchronously.
+		const slack = 2
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= baseline+slack {
+				break
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				fmt.Fprintf(os.Stderr, "goroutine leak: %d goroutines, baseline %d (+%d slack)\n%s\n",
+					runtime.NumGoroutine(), baseline, slack, buf[:n])
+				code = 1
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	os.Exit(code)
+}

@@ -24,15 +24,25 @@
 //     byte, so a fingerprint collision costs an extra read, never a wrong
 //     body.
 //
+// All I/O flows through the FS seam (fs.go): OSFS in production, FaultFS
+// (faultfs.go) under test and chaos. Every Get re-verifies the record CRC
+// before returning bytes — a record that rots on disk after Open is
+// quarantined (de-indexed, counted) and reported as a miss, never served —
+// and read/write outcomes drive the health state machine (health.go) that
+// the serving tier consults for graceful degradation.
+//
 // Determinism: the store holds bytes produced by the deterministic serving
 // layer and returns them verbatim. No clock, no randomness — the bloom and
-// fingerprint hashes are fixed FNV variants of the key.
+// fingerprint hashes are fixed FNV variants of the key, and health recovery
+// probes are request-counted, never timer-driven.
 package store
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -73,6 +83,14 @@ type Options struct {
 	MaxSegmentBytes int64
 	// BloomBits sizes the bloom filter bitset. 0 means DefaultBloomBits.
 	BloomBits int
+	// FS is the filesystem seam all segment I/O flows through. nil means
+	// OSFS (the real disk); tests and the chaos harness interpose a
+	// FaultFS here.
+	FS FS
+	// ProbeAfter is the recovery-probe cadence of the health state machine:
+	// while the store is sick, every ProbeAfter-th consult attempts one real
+	// disk op as a probe. 0 means DefaultProbeAfter.
+	ProbeAfter int
 }
 
 // Stats is an observational snapshot of a store's state and traffic.
@@ -92,6 +110,17 @@ type Stats struct {
 	// key was already stored (the body is identical by determinism).
 	Puts    int64
 	DupPuts int64
+	// Health is the current disk-health state.
+	Health Health
+	// Quarantined counts records de-indexed because a Get-time CRC check
+	// failed (under IndexSparse the owning key is unknowable, so Keys is not
+	// decremented there).
+	Quarantined int64
+	// Degradations, Offlines and Recoveries count health-state transitions:
+	// Healthy→Degraded, →Offline, and each probe-driven step back.
+	Degradations int64
+	Offlines     int64
+	Recoveries   int64
 }
 
 // recordLoc locates one record inside the segment list.
@@ -104,7 +133,7 @@ type recordLoc struct {
 
 // segment is one append-only log file. Only the last segment is written.
 type segment struct {
-	f    *os.File
+	f    File
 	id   int
 	size int64
 }
@@ -112,8 +141,10 @@ type segment struct {
 // Store is the on-disk result tier. Safe for concurrent use: lookups take a
 // read lock, appends and rotation a write lock.
 type Store struct {
-	dir  string
-	opts Options
+	dir        string
+	opts       Options
+	fs         FS
+	probeAfter int
 
 	mu     sync.RWMutex
 	closed bool
@@ -126,6 +157,8 @@ type Store struct {
 	recovered                int64
 	bloomNegatives           atomic.Int64
 	diskReads, puts, dupPuts atomic.Int64
+	quarantined              atomic.Int64
+	health                   health
 	scratch                  sync.Pool // *[]byte record-encode buffers
 }
 
@@ -160,13 +193,22 @@ func Open(dir string, opts Options) (*Store, error) {
 	if opts.BloomBits <= 0 {
 		opts.BloomBits = DefaultBloomBits
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.ProbeAfter <= 0 {
+		opts.ProbeAfter = DefaultProbeAfter
+	}
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	s := &Store{
-		dir:    dir,
-		opts:   opts,
-		filter: newBloom(opts.BloomBits),
+		dir:        dir,
+		opts:       opts,
+		fs:         fs,
+		probeAfter: opts.ProbeAfter,
+		filter:     newBloom(opts.BloomBits),
 	}
 	s.scratch.New = func() any { b := make([]byte, 0, 4096); return &b }
 	if opts.Layout == IndexSparse {
@@ -175,7 +217,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		s.full = make(map[string]recordLoc)
 	}
 
-	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	names, err := fs.Glob(filepath.Join(dir, "seg-*.log"))
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -189,7 +231,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		if _, err := fmt.Sscanf(filepath.Base(name), "seg-%d.log", &id); err != nil {
 			continue
 		}
-		f, err := os.OpenFile(name, os.O_RDWR, 0o644)
+		f, err := fs.OpenFile(name, os.O_RDWR, 0o644)
 		if err != nil {
 			s.closeFiles()
 			return nil, fmt.Errorf("store: %w", err)
@@ -212,17 +254,26 @@ func Open(dir string, opts Options) (*Store, error) {
 
 // replaySegment validates seg record by record, indexing each valid record
 // and truncating the file at the first invalid one.
+//
+// Only *structural* invalidity — a short file, a torn header, a CRC
+// mismatch — is a torn tail; it marks where a crashed append stopped, and
+// truncating there is recovery. An I/O *error* from the filesystem (EIO, an
+// injected fault) proves nothing about the bytes: replay must fail the Open
+// rather than "recover" by discarding data it merely could not read. A
+// transient sick disk at startup must never become permanent data loss.
 func (s *Store) replaySegment(seg *segment, seen map[string]struct{}) error {
-	info, err := seg.f.Stat()
+	total, err := seg.f.Size()
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	total := info.Size()
 	var off int64
 	hdr := make([]byte, recordHeaderLen)
 	var buf []byte
 	for off < total {
-		keyLen, bodyLen, ok := s.readHeader(seg, off, total, hdr)
+		keyLen, bodyLen, ok, err := s.readHeader(seg, off, total, hdr)
+		if err != nil {
+			return fmt.Errorf("store: replaying %s at offset %d: %w", segName(seg.id), off, err)
+		}
 		if !ok {
 			break
 		}
@@ -232,7 +283,10 @@ func (s *Store) replaySegment(seg *segment, seen map[string]struct{}) error {
 		}
 		rest := buf[:n-recordHeaderLen]
 		if _, err := seg.f.ReadAt(rest, off+recordHeaderLen); err != nil {
-			break
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				break // file ends mid-record: a torn tail, not a sick disk
+			}
+			return fmt.Errorf("store: replaying %s at offset %d: %w", segName(seg.id), off, err)
 		}
 		crc := crc32.NewIEEE()
 		crc.Write(hdr)
@@ -258,23 +312,28 @@ func (s *Store) replaySegment(seg *segment, seen map[string]struct{}) error {
 }
 
 // readHeader reads and sanity-checks one record header; ok is false when the
-// header itself is torn or the declared lengths cannot fit the file.
-func (s *Store) readHeader(seg *segment, off, total int64, hdr []byte) (keyLen, bodyLen uint32, ok bool) {
+// header itself is torn or the declared lengths cannot fit the file, err is
+// non-nil when the filesystem failed outright (which must abort replay, not
+// truncate — see replaySegment).
+func (s *Store) readHeader(seg *segment, off, total int64, hdr []byte) (keyLen, bodyLen uint32, ok bool, err error) {
 	if off+recordHeaderLen > total {
-		return 0, 0, false
+		return 0, 0, false, nil
 	}
 	if _, err := seg.f.ReadAt(hdr, off); err != nil {
-		return 0, 0, false
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, 0, false, nil
+		}
+		return 0, 0, false, err
 	}
 	keyLen = binary.LittleEndian.Uint32(hdr)
 	bodyLen = binary.LittleEndian.Uint32(hdr[4:])
 	if keyLen == 0 || keyLen > maxRecordPart || bodyLen > maxRecordPart {
-		return 0, 0, false
+		return 0, 0, false, nil
 	}
 	if off+recordLen(int(keyLen), int(bodyLen)) > total {
-		return 0, 0, false
+		return 0, 0, false, nil
 	}
-	return keyLen, bodyLen, true
+	return keyLen, bodyLen, true, nil
 }
 
 // index records loc for key in whichever layout is active (newest wins) and
@@ -291,7 +350,7 @@ func (s *Store) index(key string, loc recordLoc) {
 
 func (s *Store) addSegment(id int) error {
 	name := filepath.Join(s.dir, segName(id))
-	f, err := os.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := s.fs.OpenFile(name, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
@@ -305,69 +364,166 @@ func (s *Store) closeFiles() {
 	}
 }
 
+// quarantineRec identifies one index entry whose record failed its Get-time
+// CRC check. Under IndexFull key names the entry; under IndexSparse the key
+// is unknowable (the record could not be verified), so fp names the bucket.
+type quarantineRec struct {
+	key string
+	fp  uint64
+	loc recordLoc
+}
+
 // Get returns the stored body for key. A bloom-filter negative answers
 // without touching disk; otherwise IndexFull reads exactly one record and
 // IndexSparse reads fingerprint candidates newest-first until the stored key
-// matches byte for byte. The returned slice is freshly allocated and owned
+// matches byte for byte. Every record read re-verifies the CRC before any
+// byte is returned: a record that rots on disk after Open is quarantined
+// (de-indexed and counted in Stats.Quarantined) and reported as a miss —
+// corrupt bytes are never served. Read outcomes feed the health state
+// machine; while Offline a Get that would not otherwise touch disk doubles
+// as the recovery probe. The returned slice is freshly allocated and owned
 // by the caller.
 func (s *Store) Get(key string) ([]byte, bool, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if s.closed {
+		s.mu.RUnlock()
 		return nil, false, fmt.Errorf("store: closed")
 	}
+	body, ok, touched, readErr, quarantine := s.lookupLocked(key)
+	if !touched && Health(s.health.state.Load()) == Offline {
+		// This Get was let through as an Offline recovery probe but its key
+		// never reached the disk (bloom negative or index miss); probe with
+		// one real read so the consult still gathers evidence.
+		touched, readErr = s.probeLocked()
+	}
+	s.mu.RUnlock()
+	if touched {
+		if readErr != nil {
+			s.health.noteReadError()
+		} else {
+			s.health.noteReadOK()
+		}
+	}
+	if len(quarantine) > 0 {
+		s.quarantineLocs(quarantine)
+	}
+	if readErr != nil {
+		return nil, false, readErr
+	}
+	return body, ok, nil
+}
+
+// lookupLocked resolves key under the read lock. touched reports whether any
+// disk read was attempted; corrupt records are collected for quarantine
+// rather than de-indexed in place (the caller holds only the read lock).
+func (s *Store) lookupLocked(key string) (body []byte, ok, touched bool, readErr error, quarantine []quarantineRec) {
 	if !s.filter.maybe(key) {
 		s.bloomNegatives.Add(1)
-		return nil, false, nil
+		return nil, false, false, nil, nil
 	}
 	if s.full != nil {
-		loc, ok := s.full[key]
-		if !ok {
-			return nil, false, nil
+		loc, found := s.full[key]
+		if !found {
+			return nil, false, false, nil, nil
 		}
-		body, err := s.readBody(loc)
+		gotKey, b, valid, err := s.readRecordChecked(loc)
 		if err != nil {
-			return nil, false, err
+			return nil, false, true, err, nil
 		}
-		return body, true, nil
+		if valid && string(gotKey) == key {
+			return b, true, true, nil, nil
+		}
+		return nil, false, true, nil, []quarantineRec{{key: key, loc: loc}}
 	}
-	locs := s.sparse[fingerprint(key)]
+	fp := fingerprint(key)
+	locs := s.sparse[fp]
 	for i := len(locs) - 1; i >= 0; i-- {
 		loc := locs[i]
 		if int(loc.keyLen) != len(key) {
 			continue
 		}
-		gotKey, body, err := s.readRecord(loc)
+		gotKey, b, valid, err := s.readRecordChecked(loc)
 		if err != nil {
-			return nil, false, err
+			return nil, false, true, err, quarantine
+		}
+		touched = true
+		if !valid {
+			quarantine = append(quarantine, quarantineRec{fp: fp, loc: loc})
+			continue
 		}
 		if string(gotKey) == key {
-			return body, true, nil
+			return b, true, true, nil, quarantine
 		}
 	}
-	return nil, false, nil
+	return nil, false, touched, nil, quarantine
 }
 
-// readBody reads and returns one record's body (IndexFull trusts the exact
-// key map, so the key bytes are skipped).
-func (s *Store) readBody(loc recordLoc) ([]byte, error) {
+// readRecordChecked reads one whole record and verifies its CRC. valid is
+// false (with nil error) when the bytes came back but fail the checksum —
+// the caller quarantines the record. The body subslice aliases the freshly
+// allocated record buffer, so it is safe to hand to the caller.
+func (s *Store) readRecordChecked(loc recordLoc) (key, body []byte, valid bool, err error) {
 	s.diskReads.Add(1)
-	body := make([]byte, loc.bodyLen)
-	if _, err := s.segs[loc.seg].f.ReadAt(body, loc.off+recordHeaderLen+int64(loc.keyLen)); err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+	buf := make([]byte, recordLen(int(loc.keyLen), int(loc.bodyLen)))
+	if _, err := s.segs[loc.seg].f.ReadAt(buf, loc.off); err != nil {
+		return nil, nil, false, fmt.Errorf("store: %w", err)
 	}
-	return body, nil
+	payload := len(buf) - recordTrailerLen
+	if crc32.ChecksumIEEE(buf[:payload]) != binary.LittleEndian.Uint32(buf[payload:]) {
+		return nil, nil, false, nil
+	}
+	key = buf[recordHeaderLen : recordHeaderLen+int(loc.keyLen)]
+	return key, buf[recordHeaderLen+int(loc.keyLen) : payload], true, nil
 }
 
-// readRecord reads one record's key and body (the sparse layout must verify
-// the key before trusting the body).
-func (s *Store) readRecord(loc recordLoc) (key, body []byte, err error) {
-	s.diskReads.Add(1)
-	buf := make([]byte, int(loc.keyLen)+int(loc.bodyLen))
-	if _, err := s.segs[loc.seg].f.ReadAt(buf, loc.off+recordHeaderLen); err != nil {
-		return nil, nil, fmt.Errorf("store: %w", err)
+// probeLocked performs one read probe under the read lock: a single byte
+// from the newest non-empty segment. An empty store has nothing to prove
+// reads against, so the probe trivially succeeds.
+func (s *Store) probeLocked() (touched bool, err error) {
+	for i := len(s.segs) - 1; i >= 0; i-- {
+		if s.segs[i].size == 0 {
+			continue
+		}
+		var b [1]byte
+		_, err = s.segs[i].f.ReadAt(b[:], 0)
+		if err != nil {
+			err = fmt.Errorf("store: probe: %w", err)
+		}
+		return true, err
 	}
-	return buf[:loc.keyLen], buf[loc.keyLen:], nil
+	return true, nil
+}
+
+// quarantineLocs de-indexes records whose Get-time CRC check failed. Each
+// entry is removed only if it is still the indexed location (a concurrent
+// re-append of the same key must not be dropped).
+func (s *Store) quarantineLocs(recs []quarantineRec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for _, r := range recs {
+		if s.full != nil {
+			if cur, ok := s.full[r.key]; ok && cur == r.loc {
+				delete(s.full, r.key)
+				s.keys--
+				s.quarantined.Add(1)
+			}
+			continue
+		}
+		bucket := s.sparse[r.fp]
+		for i, loc := range bucket {
+			if loc == r.loc {
+				s.sparse[r.fp] = append(bucket[:i], bucket[i+1:]...)
+				if len(s.sparse[r.fp]) == 0 {
+					delete(s.sparse, r.fp)
+				}
+				s.quarantined.Add(1)
+				break
+			}
+		}
+	}
 }
 
 // Put appends (key, body) to the active segment, rotating it at the size
@@ -375,7 +531,9 @@ func (s *Store) readRecord(loc recordLoc) (key, body []byte, err error) {
 // are deterministic in their key, so the stored bytes are already the right
 // ones. Put does not fsync — durability of the latest writes is Sync's job;
 // a crash in between loses recent records to recovery truncation, never
-// correctness.
+// correctness. Write outcomes feed the health state machine: a failed append
+// degrades the store to read-only, a successful one recovers Degraded back
+// to Healthy.
 func (s *Store) Put(key string, body []byte) error {
 	if len(key) == 0 {
 		return fmt.Errorf("store: empty key")
@@ -393,6 +551,7 @@ func (s *Store) Put(key string, body []byte) error {
 	active := s.segs[len(s.segs)-1]
 	if active.size > 0 && active.size+n > s.opts.MaxSegmentBytes {
 		if err := s.addSegment(active.id + 1); err != nil {
+			s.health.noteWriteError()
 			return err
 		}
 		active = s.segs[len(s.segs)-1]
@@ -409,8 +568,13 @@ func (s *Store) Put(key string, body []byte) error {
 	*bp = rec
 	s.scratch.Put(bp)
 	if err != nil {
+		// A failed or torn append leaves overwritable garbage past
+		// active.size (never indexed, overwritten by the next append, and
+		// truncated by recovery if the process dies first).
+		s.health.noteWriteError()
 		return fmt.Errorf("store: %w", err)
 	}
+	s.health.noteWriteOK()
 	s.index(key, recordLoc{seg: len(s.segs) - 1, off: active.size, keyLen: uint32(len(key)), bodyLen: uint32(len(body))})
 	active.size += n
 	s.keys++
@@ -419,7 +583,9 @@ func (s *Store) Put(key string, body []byte) error {
 }
 
 // contains reports whether key is already indexed (exact under IndexFull;
-// verified against disk under IndexSparse). Caller holds mu.
+// verified against disk under IndexSparse — a candidate that fails its CRC
+// is treated as absent, so the key is simply re-appended and newest wins).
+// Caller holds mu.
 func (s *Store) contains(key string) bool {
 	if !s.filter.maybe(key) {
 		return false
@@ -432,15 +598,17 @@ func (s *Store) contains(key string) bool {
 		if int(loc.keyLen) != len(key) {
 			continue
 		}
-		gotKey, _, err := s.readRecord(loc)
-		if err == nil && string(gotKey) == key {
+		gotKey, _, valid, err := s.readRecordChecked(loc)
+		if err == nil && valid && string(gotKey) == key {
 			return true
 		}
 	}
 	return false
 }
 
-// Sync flushes the active segment to stable storage.
+// Sync flushes the active segment to stable storage. A failed sync degrades
+// the store (the write path is suspect) but a successful one does not by
+// itself recover it — only a proven append does.
 func (s *Store) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -448,6 +616,7 @@ func (s *Store) Sync() error {
 		return fmt.Errorf("store: closed")
 	}
 	if err := s.segs[len(s.segs)-1].f.Sync(); err != nil {
+		s.health.noteWriteError()
 		return fmt.Errorf("store: %w", err)
 	}
 	return nil
@@ -489,13 +658,19 @@ func (s *Store) Stats() Stats {
 		DiskReads:      s.diskReads.Load(),
 		Puts:           s.puts.Load(),
 		DupPuts:        s.dupPuts.Load(),
+		Health:         s.Health(),
+		Quarantined:    s.quarantined.Load(),
+		Degradations:   s.health.degradations.Load(),
+		Offlines:       s.health.offlines.Load(),
+		Recoveries:     s.health.recoveries.Load(),
 	}
 }
 
 // InjectTornTail appends n garbage bytes to dir's newest segment file,
 // simulating a write torn mid-record by a crash. Recovery on the next Open
 // must truncate exactly these bytes. Test and chaos-harness helper — never
-// call it on a live store.
+// call it on a live store; it writes through the os directly, below any FS
+// seam.
 func InjectTornTail(dir string, n int) error {
 	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
 	if err != nil {
